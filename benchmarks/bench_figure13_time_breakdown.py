@@ -1,0 +1,23 @@
+"""Figure 13: compile-time breakdown per optimization stage (FMSA, t=1).
+
+The paper's key finding is that sequence alignment dominates the merging
+time, followed by code generation, with fingerprinting / ranking /
+linearization / call updating contributing small percentages.
+"""
+
+from benchmarks.conftest import emit
+from repro.evaluation import figure13
+
+
+def test_figure13(benchmark, spec_evaluation):
+    report = benchmark.pedantic(figure13, args=(spec_evaluation, "x86-64"),
+                                rounds=1, iterations=1)
+    emit(report)
+    headers = report.headers
+    overall = report.rows[-1]
+    shares = {h: float(v) for h, v in zip(headers[1:], overall[1:])}
+    # alignment dominates, code generation comes second (paper, Figure 13)
+    assert shares["alignment"] == max(shares.values())
+    assert shares["alignment"] > 30.0
+    assert shares["codegen"] >= shares["linearization"]
+    assert abs(sum(shares.values()) - 100.0) < 1.0

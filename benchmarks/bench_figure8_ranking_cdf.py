@@ -1,0 +1,22 @@
+"""Figure 8: CDF of the rank position of committed (profitable) candidates.
+
+The paper reports that ~89% of all merge operations happen with the topmost
+ranked candidate and the top 5 cover over 98%, which is what justifies the
+tiny exploration thresholds.  The comparable claims checked here: the
+majority of merges come from position 1 and the CDF saturates within the
+top 5 positions.
+"""
+
+from benchmarks.conftest import emit
+from repro.evaluation import figure8
+
+
+def test_figure8(benchmark, spec_evaluation):
+    report = benchmark.pedantic(figure8, args=(spec_evaluation, "x86-64"),
+                                rounds=1, iterations=1)
+    emit(report)
+    coverages = [float(row[1]) for row in report.rows]
+    assert coverages == sorted(coverages)
+    assert coverages[0] >= 50.0        # most merges use the top candidate
+    assert coverages[4] >= 90.0        # the top five cover nearly everything
+    assert coverages[-1] == 100.0

@@ -1,0 +1,25 @@
+"""Table I: SPEC function statistics and merge-operation counts.
+
+Regenerates the per-benchmark function counts, size statistics and the number
+of merge operations performed by Identical, SOA and FMSA (t=1 and t=10).
+The paper's qualitative claims checked here: FMSA performs at least as many
+merges as the baselines almost everywhere, and t=10 never merges less than
+t=1.
+"""
+
+from benchmarks.conftest import emit
+from repro.evaluation import table1
+
+
+def test_table1(benchmark, spec_evaluation):
+    report = benchmark.pedantic(table1, args=(spec_evaluation,), rounds=1, iterations=1)
+    emit(report)
+    headers = report.headers
+    idx_identical = headers.index("#identical")
+    idx_t1 = headers.index("#fmsa[t=1]")
+    idx_t10 = headers.index("#fmsa[t=10]")
+    for row in report.rows:
+        assert row[idx_t10] >= row[idx_t1] or row[idx_t1] == 0
+    total_identical = sum(row[idx_identical] for row in report.rows)
+    total_fmsa = sum(row[idx_t10] for row in report.rows)
+    assert total_fmsa >= total_identical

@@ -1,0 +1,19 @@
+"""Table II: MiBench function statistics and merge-operation counts."""
+
+from benchmarks.conftest import emit
+from repro.evaluation import table2
+
+
+def test_table2(benchmark, mibench_evaluation):
+    report = benchmark.pedantic(table2, args=(mibench_evaluation,), rounds=1, iterations=1)
+    emit(report)
+    headers = report.headers
+    rows = {row[0]: row for row in report.rows}
+    idx_t1 = next(i for i, h in enumerate(headers) if h.startswith("#fmsa"))
+    # rijndael: exactly the encrypt/decrypt pair merges (1 operation)
+    assert rows["rijndael"][idx_t1] >= 1
+    # programs Table II reports as having zero merges for every technique
+    for name in ("CRC32", "FFT", "adpcm_c", "qsort", "sha", "patricia"):
+        assert rows[name][headers.index("#identical")] == 0
+        assert rows[name][headers.index("#soa")] == 0
+        assert rows[name][idx_t1] == 0

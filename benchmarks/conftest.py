@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness reproduces every table and figure of the paper's evaluation on
+the synthetic benchmark suites.  The expensive part - compiling every
+benchmark under every merging configuration - is done once per session and
+shared by the per-figure benchmarks, which then derive and print their
+reports.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``  - fraction of each SPEC benchmark's function count
+  to generate (default 0.01).
+* ``REPRO_BENCH_CAP``    - maximum functions per benchmark (default 20).
+* ``REPRO_BENCH_ORACLE`` - set to 1 to also run the exhaustive oracle
+  configuration (slow).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.evaluation import EvaluationSettings, evaluate_suite  # noqa: E402
+
+
+def _env_float(name, default):
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 0.01)
+BENCH_CAP = int(_env_float("REPRO_BENCH_CAP", 20))
+BENCH_ORACLE = os.environ.get("REPRO_BENCH_ORACLE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def spec_evaluation():
+    """Full SPEC CPU2006 model under every configuration, both targets."""
+    settings = EvaluationSettings(
+        suite="spec", scale=BENCH_SCALE, cap=BENCH_CAP,
+        thresholds=(1, 5, 10), include_oracle=BENCH_ORACLE,
+        include_hot_exclusion=True, targets=("x86-64", "arm-thumb"))
+    return evaluate_suite(settings)
+
+
+@pytest.fixture(scope="session")
+def mibench_evaluation():
+    """Full MiBench model (Intel only, as in the paper's Figure 11)."""
+    settings = EvaluationSettings(
+        suite="mibench", scale=1.0, cap=BENCH_CAP,
+        thresholds=(1, 10), targets=("x86-64",))
+    return evaluate_suite(settings)
+
+
+def emit(report) -> None:
+    """Print a report so it appears in the benchmark output."""
+    print()
+    print(report.render())

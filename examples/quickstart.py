@@ -1,0 +1,83 @@
+"""Quickstart: merge two similar functions with FMSA.
+
+Builds a tiny module with two similar functions, merges them by sequence
+alignment, checks the profitability model, commits the merge and shows the
+resulting module and code-size saving.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import FunctionMergingPass, estimate_profit, merge_functions
+from repro.frontend import compile_source
+from repro.interp import Interpreter, standard_externals
+from repro.ir import module_to_str, verify_or_raise
+from repro.targets import get_target
+
+SOURCE = """
+// two near-identical list helpers, as produced by light templating
+int sum_weights(int *values, int n, int scale) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        total = total + values[i] * scale;
+    }
+    return total;
+}
+
+int sum_offsets(int *values, int n, int offset) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        total = total + values[i] + offset;
+    }
+    return total;
+}
+
+int main(int n) {
+    int buffer[8];
+    for (int i = 0; i < 8; i++) buffer[i] = i + 1;
+    return sum_weights(buffer, n, 3) + sum_offsets(buffer, n, 10);
+}
+"""
+
+
+def main() -> None:
+    target = get_target("x86-64")
+
+    module = compile_source(SOURCE, module_name="quickstart")
+    verify_or_raise(module)
+    size_before = target.module_cost(module)
+    print(f"module size before merging: {size_before} bytes (modelled)")
+
+    # --- the low-level API: merge one specific pair -----------------------------
+    f1 = module.get_function("sum_weights")
+    f2 = module.get_function("sum_offsets")
+    result = merge_functions(f1, f2)
+    evaluation = estimate_profit(result, target)
+    print(f"\nmerging {f1.name} + {f2.name}:")
+    print(f"  alignment: {result.alignment.match_count} matched columns, "
+          f"{result.alignment.gap_count} gaps")
+    print(f"  sizes: {evaluation.size_function1} + {evaluation.size_function2} "
+          f"-> {evaluation.size_merged} (+{evaluation.epsilon} thunk/call overhead)")
+    print(f"  delta = {evaluation.delta} -> "
+          f"{'profitable' if evaluation.profitable else 'not profitable'}")
+
+    # --- the high-level API: the whole exploration framework ---------------------
+    module = compile_source(SOURCE, module_name="quickstart")
+    reference = Interpreter(compile_source(SOURCE), standard_externals()).run("main", [8])
+    report = FunctionMergingPass(target=target, exploration_threshold=1).run(module)
+    verify_or_raise(module)
+    size_after = target.module_cost(module)
+
+    print("\n" + report.summary())
+    print(f"\nmodule size after merging: {size_after} bytes "
+          f"({100.0 * (size_before - size_after) / size_before:.1f}% smaller)")
+
+    merged_result = Interpreter(module, standard_externals()).run("main", [8])
+    print(f"main(8) before: {reference}, after: {merged_result} "
+          f"({'OK' if reference == merged_result else 'MISMATCH'})")
+
+    print("\nfinal module IR:\n")
+    print(module_to_str(module))
+
+
+if __name__ == "__main__":
+    main()

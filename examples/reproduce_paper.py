@@ -1,0 +1,77 @@
+"""Reproduce the paper's evaluation tables and figures on the synthetic suites.
+
+Runs the full experiment harness - both benchmark suites, all merging
+configurations - at a configurable scale and prints every table/figure the
+paper reports (Figures 8, 10, 11, 12, 13, 14 and Tables I, II), plus CSV
+files when an output directory is given.
+
+Run with:
+    python examples/reproduce_paper.py              # quick (scaled-down) run
+    python examples/reproduce_paper.py --full       # larger run incl. oracle
+    python examples/reproduce_paper.py --out results/
+"""
+
+import argparse
+import os
+
+from repro.evaluation import (EvaluationSettings, evaluate_suite, figure8, figure10,
+                              figure11, figure12, figure13, figure14, table1, table2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="larger modules, thresholds 1/5/10 and the oracle")
+    parser.add_argument("--out", default=None,
+                        help="directory to write CSV files into")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="subset of SPEC benchmark names to run")
+    args = parser.parse_args()
+
+    if args.full:
+        spec_settings = EvaluationSettings(
+            suite="spec", scale=0.02, cap=40, thresholds=(1, 5, 10),
+            include_oracle=True, include_hot_exclusion=True,
+            benchmarks=args.benchmarks)
+        mibench_settings = EvaluationSettings(
+            suite="mibench", scale=1.0, cap=40, thresholds=(1, 10),
+            targets=("x86-64",))
+    else:
+        spec_settings = EvaluationSettings(
+            suite="spec", scale=0.01, cap=24, thresholds=(1, 10),
+            include_hot_exclusion=True, benchmarks=args.benchmarks)
+        mibench_settings = EvaluationSettings(
+            suite="mibench", scale=1.0, cap=24, thresholds=(1,),
+            targets=("x86-64",))
+
+    print("evaluating the SPEC CPU2006 model "
+          f"({len(spec_settings.benchmarks or []) or 19} benchmarks)...")
+    spec = evaluate_suite(spec_settings)
+    print("evaluating the MiBench model (23 benchmarks)...")
+    mibench = evaluate_suite(mibench_settings)
+
+    reports = {
+        "figure8": figure8(spec),
+        "figure10_intel": figure10(spec, "x86-64"),
+        "figure10_arm": figure10(spec, "arm-thumb"),
+        "table1": table1(spec),
+        "figure11": figure11(mibench, "x86-64"),
+        "table2": table2(mibench),
+        "figure12": figure12(spec),
+        "figure13": figure13(spec),
+        "figure14": figure14(spec),
+    }
+
+    for name, report in reports.items():
+        print()
+        print(report.render())
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.csv")
+            with open(path, "w") as handle:
+                handle.write(report.csv())
+            print(f"[written to {path}]")
+
+
+if __name__ == "__main__":
+    main()

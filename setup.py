@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The execution environment has no network access and an older setuptools
+without PEP 660 editable-wheel support, so ``pip install -e .`` falls back to
+this legacy ``setup.py`` path (``--no-use-pep517`` / develop mode).  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Function Merging by Sequence Alignment (CGO 2019) - pure-Python reproduction",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

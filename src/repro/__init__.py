@@ -1,0 +1,32 @@
+"""repro — a pure-Python reproduction of *Function Merging by Sequence
+Alignment* (Rocha et al., CGO 2019).
+
+The package is organised as:
+
+* :mod:`repro.ir` — a typed, LLVM-like intermediate representation.
+* :mod:`repro.passes` — generic IR passes (-Os-like pre-pipeline).
+* :mod:`repro.targets` — code-size cost models (x86-64, ARM Thumb).
+* :mod:`repro.interp` — an IR interpreter and profiler.
+* :mod:`repro.frontend` — a mini-C front-end used by the case studies.
+* :mod:`repro.core` — the paper's contribution: FMSA.
+* :mod:`repro.baselines` — Identical and structural (SOA) function merging.
+* :mod:`repro.workloads` — synthetic SPEC CPU2006 / MiBench-like modules.
+* :mod:`repro.evaluation` — the experiment harness reproducing every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ir, targets
+    from repro.core import FunctionMergingPass
+
+    module = ...                      # build or generate a module
+    pass_ = FunctionMergingPass(target=targets.get_target("x86-64"))
+    report = pass_.run(module)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import ir, targets  # noqa: F401  (re-exported subpackages)
+
+__all__ = ["ir", "targets", "__version__"]

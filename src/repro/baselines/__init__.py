@@ -1,0 +1,14 @@
+"""Baseline function-merging techniques the paper compares against."""
+
+from .identical import (IdenticalFunctionMergingPass, IdenticalMergeRecord,
+                        IdenticalMergeReport, functions_identical, structural_hash)
+from .soa import (StructuralFunctionMergingPass, StructuralMergeRecord,
+                  StructuralMergeReport, cfg_shape, structural_alignment,
+                  structurally_similar)
+
+__all__ = [
+    "IdenticalFunctionMergingPass", "IdenticalMergeRecord", "IdenticalMergeReport",
+    "functions_identical", "structural_hash",
+    "StructuralFunctionMergingPass", "StructuralMergeRecord", "StructuralMergeReport",
+    "cfg_shape", "structural_alignment", "structurally_similar",
+]

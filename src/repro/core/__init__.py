@@ -1,0 +1,46 @@
+"""FMSA core: the paper's contribution.
+
+Public API:
+
+* :func:`merge_functions` — merge one pair of functions (pure, no module
+  mutation).
+* :class:`FunctionMergingPass` — the full ranked exploration framework.
+* :func:`align`, :func:`needleman_wunsch`, :func:`hirschberg` — sequence
+  alignment.
+* :func:`linearize` — CFG linearization.
+* :class:`Fingerprint`, :func:`similarity`, :class:`CandidateRanker` — the
+  ranking infrastructure.
+* :func:`estimate_profit` — the profitability cost model.
+* :func:`apply_merge` — commit a merge into a module (thunks / call updates).
+"""
+
+from .alignment import (AlignedEntry, AlignmentResult, ScoringScheme, align,
+                        hirschberg, needleman_wunsch)
+from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
+                      MergeResult, merge_functions, merge_parameter_lists,
+                      merge_return_types)
+from .equivalence import (entries_equivalent, instructions_equivalent,
+                          labels_equivalent, types_equivalent)
+from .fingerprint import Fingerprint, fingerprint_module, similarity
+from .linearizer import LinearEntry, linearize, sequence_signature
+from .pass_ import (FunctionMergingPass, MergeRecord, MergeReport, STAGES,
+                    make_hotness_filter)
+from .profitability import MergeEvaluation, estimate_profit
+from .ranking import CandidateRanker, RankedCandidate
+from .thunks import AppliedMerge, apply_merge, build_thunk
+
+__all__ = [
+    "AlignedEntry", "AlignmentResult", "ScoringScheme", "align", "hirschberg",
+    "needleman_wunsch",
+    "CodegenError", "MergeCodeGenerator", "MergeOptions", "MergeResult",
+    "merge_functions", "merge_parameter_lists", "merge_return_types",
+    "entries_equivalent", "instructions_equivalent", "labels_equivalent",
+    "types_equivalent",
+    "Fingerprint", "fingerprint_module", "similarity",
+    "LinearEntry", "linearize", "sequence_signature",
+    "FunctionMergingPass", "MergeRecord", "MergeReport", "STAGES",
+    "make_hotness_filter",
+    "MergeEvaluation", "estimate_profit",
+    "CandidateRanker", "RankedCandidate",
+    "AppliedMerge", "apply_merge", "build_thunk",
+]

@@ -1,0 +1,126 @@
+"""Equivalence relation over linearized entries (Section III-D).
+
+Two *instructions* are equivalent when
+
+1. their opcodes are semantically equivalent (here: identical, plus identical
+   immediate attributes such as comparison predicates),
+2. their result types are equivalent, and
+3. their operands have pairwise equivalent types.
+
+Types are equivalent when they can be bitcast losslessly
+(:func:`repro.ir.types.can_losslessly_bitcast`), with the extra pointer
+alignment caveat handled by requiring that loads/stores/allocas/geps agree on
+the *size* of the accessed type.  Calls additionally require identical callee
+function types.
+
+Labels of normal basic blocks always match each other; landing blocks only
+match landing blocks whose landing-pad instructions have identical types and
+clause lists.
+"""
+
+from __future__ import annotations
+
+from ..ir import types as ty
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .linearizer import LinearEntry
+
+
+def types_equivalent(a: ty.Type, b: ty.Type) -> bool:
+    """Type equivalence used throughout the merger."""
+    return ty.can_losslessly_bitcast(a, b)
+
+
+def _callee_function_type(inst: Instruction):
+    callee = inst.operands[0]
+    fnty = getattr(callee, "function_type", None)
+    if fnty is None and callee.type.is_pointer and callee.type.pointee.is_function:
+        fnty = callee.type.pointee
+    return fnty
+
+
+def _accessed_type_size(inst: Instruction) -> int:
+    """Size in bits of the memory location an instruction touches."""
+    if inst.opcode == "alloca":
+        return inst.attrs["allocated_type"].size_bits()  # type: ignore[union-attr]
+    if inst.opcode == "load":
+        return inst.type.size_bits()
+    if inst.opcode == "store":
+        return inst.operands[0].type.size_bits()
+    return 0
+
+
+def instructions_equivalent(a: Instruction, b: Instruction) -> bool:
+    """The instruction-level equivalence relation used for alignment."""
+    if a.opcode != b.opcode:
+        return False
+    if len(a.operands) != len(b.operands):
+        return False
+    if not types_equivalent(a.type, b.type):
+        return False
+
+    # Immediate attributes must agree: comparison predicates, landing-pad
+    # clauses, gep source types (index scaling), alloca allocated types.
+    if a.opcode in ("icmp", "fcmp"):
+        if a.attrs.get("predicate") != b.attrs.get("predicate"):
+            return False
+    if a.opcode == "landingpad":
+        if a.attrs.get("clauses") != b.attrs.get("clauses") or a.type != b.type:
+            return False
+    if a.opcode == "gep":
+        if a.attrs.get("source_type") != b.attrs.get("source_type"):
+            return False
+    if a.opcode == "alloca":
+        if _accessed_type_size(a) != _accessed_type_size(b):
+            return False
+    if a.opcode in ("load", "store"):
+        # avoid conflicting memory access widths (alignment/size conflicts)
+        if _accessed_type_size(a) != _accessed_type_size(b):
+            return False
+
+    # Calls and invokes: both must have identical function types (identical
+    # return type and identical parameter list), per the paper.
+    if a.opcode in ("call", "invoke"):
+        fa, fb = _callee_function_type(a), _callee_function_type(b)
+        if fa is None or fb is None or fa != fb:
+            return False
+
+    # Operand types must be pairwise equivalent.  Label operands only match
+    # label operands.
+    for oa, ob in zip(a.operands, b.operands):
+        if isinstance(oa, BasicBlock) != isinstance(ob, BasicBlock):
+            return False
+        if isinstance(oa, BasicBlock):
+            if not labels_equivalent(oa, ob):
+                return False
+            continue
+        if isinstance(oa, Function) != isinstance(ob, Function):
+            return False
+        if not types_equivalent(oa.type, ob.type):
+            return False
+    return True
+
+
+def labels_equivalent(a: BasicBlock, b: BasicBlock) -> bool:
+    """Label equivalence: normal blocks always match; landing blocks must
+    carry identical landing pads (type + clauses)."""
+    a_landing = a.is_landing_block
+    b_landing = b.is_landing_block
+    if a_landing != b_landing:
+        return False
+    if not a_landing:
+        return True
+    lp_a = a.instructions[0]
+    lp_b = b.instructions[0]
+    return (lp_a.type == lp_b.type
+            and lp_a.attrs.get("clauses") == lp_b.attrs.get("clauses"))
+
+
+def entries_equivalent(a: LinearEntry, b: LinearEntry) -> bool:
+    """Equivalence over linearized entries: the relation the aligner uses."""
+    if a.is_label != b.is_label:
+        return False
+    if a.is_label:
+        return labels_equivalent(a.value, b.value)  # type: ignore[arg-type]
+    return instructions_equivalent(a.value, b.value)  # type: ignore[arg-type]

@@ -1,0 +1,107 @@
+"""CFG linearization (Section III-B of the paper).
+
+Linearization turns a function's CFG into a flat sequence of *entries*: for
+every basic block, its label followed by its instructions, preserving the
+original instruction order inside each block.  CFG edges remain implicit in
+the branch instructions, whose label operands keep pointing at the original
+blocks.
+
+The traversal order does not affect correctness of the merge, only its
+effectiveness; following the paper we use a reverse post-order traversal with
+a canonical ordering of successors (the operand order of the terminator).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from ..ir import cfg
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+
+
+class LinearEntry:
+    """One element of a linearized function: a block label or an instruction."""
+
+    __slots__ = ("kind", "value", "block")
+
+    LABEL = "label"
+    INSTRUCTION = "instruction"
+
+    def __init__(self, kind: str, value: Union[BasicBlock, Instruction],
+                 block: BasicBlock):
+        self.kind = kind
+        self.value = value
+        self.block = block
+
+    @property
+    def is_label(self) -> bool:
+        return self.kind == self.LABEL
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.kind == self.INSTRUCTION
+
+    def opcode_or_label(self) -> str:
+        """A short token used for display and fingerprint-style summaries."""
+        if self.is_label:
+            return "label"
+        return self.value.opcode  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinearEntry {self.opcode_or_label()}>"
+
+
+#: Traversal strategies supported by :func:`linearize`.  ``rpo`` is the
+#: paper's choice; ``layout`` (textual block order) and ``dfs`` are provided
+#: for the linearization-order ablation study.
+TRAVERSALS = ("rpo", "layout", "dfs")
+
+
+def _dfs_order(function: Function) -> List[BasicBlock]:
+    seen = set()
+    order: List[BasicBlock] = []
+    stack = [function.entry_block]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        # push successors in reverse so the first successor is visited first
+        for succ in reversed(cfg.successors(block)):
+            if id(succ) not in seen:
+                stack.append(succ)
+    for block in function.blocks:
+        if id(block) not in seen:
+            order.append(block)
+    return order
+
+
+def block_order(function: Function, traversal: str = "rpo") -> List[BasicBlock]:
+    """Return the block visitation order for the given traversal strategy."""
+    if traversal not in TRAVERSALS:
+        raise ValueError(f"unknown traversal {traversal!r}; expected one of {TRAVERSALS}")
+    if function.is_declaration:
+        return []
+    if traversal == "layout":
+        return list(function.blocks)
+    if traversal == "dfs":
+        return _dfs_order(function)
+    return cfg.reverse_post_order(function)
+
+
+def linearize(function: Function, traversal: str = "rpo") -> List[LinearEntry]:
+    """Linearize ``function`` into a sequence of labels and instructions."""
+    entries: List[LinearEntry] = []
+    for block in block_order(function, traversal):
+        entries.append(LinearEntry(LinearEntry.LABEL, block, block))
+        for inst in block.instructions:
+            entries.append(LinearEntry(LinearEntry.INSTRUCTION, inst, block))
+    return entries
+
+
+def sequence_signature(entries: Iterable[LinearEntry]) -> List[str]:
+    """Opcode/label token sequence - handy for tests and debugging output."""
+    return [e.opcode_or_label() for e in entries]

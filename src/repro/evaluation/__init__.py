@@ -1,0 +1,21 @@
+"""Evaluation harness: compilation pipeline, experiments and reporting."""
+
+from .experiments import (EvaluationSettings, ExperimentReport, SuiteEvaluation,
+                          evaluate_suite, figure8, figure10, figure11, figure12,
+                          figure13, figure14, reduction_bar_chart,
+                          run_all_experiments, table1, table2)
+from .pipeline import (CompilationResult, compile_module, estimate_runtime_overhead,
+                       technique_label)
+from .reporting import (arithmetic_mean, ascii_table, bar_chart, cdf_table,
+                        format_percent, format_ratio, geometric_mean, text_bar,
+                        to_csv, write_csv)
+
+__all__ = [
+    "EvaluationSettings", "ExperimentReport", "SuiteEvaluation", "evaluate_suite",
+    "figure8", "figure10", "figure11", "figure12", "figure13", "figure14",
+    "table1", "table2", "reduction_bar_chart", "run_all_experiments",
+    "CompilationResult", "compile_module", "estimate_runtime_overhead",
+    "technique_label",
+    "ascii_table", "bar_chart", "cdf_table", "format_percent", "format_ratio",
+    "geometric_mean", "arithmetic_mean", "text_bar", "to_csv", "write_csv",
+]

@@ -1,0 +1,12 @@
+"""Mini-C front-end: lexer, parser and IR lowering."""
+
+from .ast_nodes import Program
+from .lexer import Lexer, LexerError, Token, tokenize
+from .lowering import Compiler, LoweringError, compile_source
+from .parser import ParseError, Parser, parse
+
+__all__ = [
+    "Program", "Lexer", "LexerError", "Token", "tokenize",
+    "Compiler", "LoweringError", "compile_source",
+    "ParseError", "Parser", "parse",
+]

@@ -1,0 +1,238 @@
+"""AST node definitions for the mini-C front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---------------------------------------------------------------------------
+# Type syntax
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeName:
+    """A syntactic type: a base name plus pointer depth and array length.
+
+    ``base`` is one of the builtin names ("void", "int", "long", "short",
+    "char", "float", "double", "bool") or ``struct <name>``.
+    """
+
+    base: str
+    pointer_depth: int = 0
+    array_length: Optional[int] = None
+    is_unsigned: bool = False
+
+    def pointer_to(self) -> "TypeName":
+        return TypeName(self.base, self.pointer_depth + 1, None, self.is_unsigned)
+
+    def __str__(self) -> str:
+        text = self.base + "*" * self.pointer_depth
+        if self.array_length is not None:
+            text += f"[{self.array_length}]"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    is_single: bool = False
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str              # '-', '!', '~', '*', '&', '++', '--'
+    operand: Expr
+    postfix: bool = False
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    target: Expr
+    value: Expr
+    op: str = "="        # '=', '+=', '-=', '*=', '/=', ...
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Expr
+    then_value: Expr
+    else_value: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class MemberExpr(Expr):
+    base: Expr
+    member: str
+    through_pointer: bool = False  # True for '->'
+
+
+@dataclass
+class CastExpr(Expr):
+    target_type: TypeName
+    operand: Expr
+
+
+@dataclass
+class SizeofExpr(Expr):
+    target_type: TypeName
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: TypeName
+    name: str
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expression: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Parameter:
+    param_type: TypeName
+    name: str
+
+
+@dataclass
+class FunctionDecl:
+    return_type: TypeName
+    name: str
+    parameters: List[Parameter] = field(default_factory=list)
+    body: Optional[Block] = None     # None = extern declaration
+    is_static: bool = False
+
+
+@dataclass
+class StructField:
+    field_type: TypeName
+    name: str
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: List[StructField] = field(default_factory=list)
+
+
+@dataclass
+class GlobalVarDecl:
+    var_type: TypeName
+    name: str
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class Program:
+    """A parsed translation unit."""
+
+    structs: List[StructDecl] = field(default_factory=list)
+    globals: List[GlobalVarDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

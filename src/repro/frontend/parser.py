@@ -1,0 +1,417 @@
+"""Recursive-descent parser for the mini-C language."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending token's position."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.line}:{token.column}: {message} (near {token.text!r})")
+        self.token = token
+
+
+#: Binary operator precedence (larger binds tighter); mirrors C.
+PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+BUILTIN_TYPE_NAMES = {"void", "int", "long", "short", "char", "float", "double", "bool"}
+
+COMPOUND_ASSIGN_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+        self.struct_names: set = set()
+
+    # -- token utilities -----------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def _expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise ParseError(f"expected {text!r}", self.current)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise ParseError("expected an identifier", self.current)
+        return self._advance()
+
+    def _accept_op(self, text: str) -> bool:
+        if self.current.is_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self.current.is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    # -- types -----------------------------------------------------------------------
+    def _at_type(self) -> bool:
+        token = self.current
+        if token.kind == "keyword" and token.text in BUILTIN_TYPE_NAMES | {"struct",
+                                                                           "unsigned",
+                                                                           "signed"}:
+            return True
+        return False
+
+    def parse_type(self) -> ast.TypeName:
+        is_unsigned = False
+        while self.current.is_keyword("unsigned") or self.current.is_keyword("signed"):
+            is_unsigned = self.current.text == "unsigned"
+            self._advance()
+        if self.current.is_keyword("struct"):
+            self._advance()
+            name = self._expect_ident().text
+            base = f"struct {name}"
+        elif self.current.kind == "keyword" and self.current.text in BUILTIN_TYPE_NAMES:
+            base = self._advance().text
+            # allow 'long long', 'long int', etc.
+            while self.current.kind == "keyword" and self.current.text in ("long", "int"):
+                extra = self._advance().text
+                if base == "long" or extra == "long":
+                    base = "long"
+        elif self.current.kind == "ident" and self.current.text in self.struct_names:
+            base = f"struct {self._advance().text}"
+        else:
+            if is_unsigned:
+                base = "int"
+            else:
+                raise ParseError("expected a type name", self.current)
+        type_name = ast.TypeName(base, is_unsigned=is_unsigned)
+        while self._accept_op("*"):
+            type_name.pointer_depth += 1
+        return type_name
+
+    # -- top level ----------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.current.kind != "eof":
+            if self.current.is_keyword("struct") and self._peek(2).is_op("{"):
+                program.structs.append(self._parse_struct())
+                continue
+            if self.current.is_keyword("typedef"):
+                raise ParseError("typedef is not supported", self.current)
+            self._parse_top_level(program)
+        return program
+
+    def _parse_struct(self) -> ast.StructDecl:
+        self._advance()  # struct
+        name = self._expect_ident().text
+        self.struct_names.add(name)
+        self._expect_op("{")
+        fields: List[ast.StructField] = []
+        while not self.current.is_op("}"):
+            field_type = self.parse_type()
+            field_name = self._expect_ident().text
+            if self._accept_op("["):
+                length_token = self._advance()
+                field_type = ast.TypeName(field_type.base, field_type.pointer_depth,
+                                          int(length_token.value), field_type.is_unsigned)
+                self._expect_op("]")
+            self._expect_op(";")
+            fields.append(ast.StructField(field_type, field_name))
+        self._expect_op("}")
+        self._expect_op(";")
+        return ast.StructDecl(name, fields)
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        is_static = False
+        while self.current.is_keyword("extern") or self.current.is_keyword("static"):
+            is_static = is_static or self.current.text == "static"
+            self._advance()
+        decl_type = self.parse_type()
+        name = self._expect_ident().text
+        if self.current.is_op("("):
+            program.functions.append(self._parse_function(decl_type, name, is_static))
+            return
+        # global variable
+        initializer = None
+        if self._accept_op("["):
+            length_token = self._advance()
+            decl_type = ast.TypeName(decl_type.base, decl_type.pointer_depth,
+                                     int(length_token.value), decl_type.is_unsigned)
+            self._expect_op("]")
+        if self._accept_op("="):
+            initializer = self.parse_expression()
+        self._expect_op(";")
+        program.globals.append(ast.GlobalVarDecl(decl_type, name, initializer))
+
+    def _parse_function(self, return_type: ast.TypeName, name: str,
+                        is_static: bool) -> ast.FunctionDecl:
+        self._expect_op("(")
+        parameters: List[ast.Parameter] = []
+        if not self.current.is_op(")"):
+            if self.current.is_keyword("void") and self._peek().is_op(")"):
+                self._advance()
+            else:
+                while True:
+                    param_type = self.parse_type()
+                    param_name = self._expect_ident().text if self.current.kind == "ident" else ""
+                    if self._accept_op("["):
+                        self._expect_op("]")
+                        param_type = param_type.pointer_to()
+                    parameters.append(ast.Parameter(param_type, param_name))
+                    if not self._accept_op(","):
+                        break
+        self._expect_op(")")
+        if self._accept_op(";"):
+            return ast.FunctionDecl(return_type, name, parameters, None, is_static)
+        body = self.parse_block()
+        return ast.FunctionDecl(return_type, name, parameters, body, is_static)
+
+    # -- statements ---------------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        self._expect_op("{")
+        statements: List[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            statements.append(self.parse_statement())
+        self._expect_op("}")
+        return ast.Block(statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_op("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None if self.current.is_op(";") else self.parse_expression()
+            self._expect_op(";")
+            return ast.ReturnStmt(value)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_op(";")
+            return ast.BreakStmt()
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_op(";")
+            return ast.ContinueStmt()
+        if self._at_type():
+            return self._parse_var_decl()
+        expression = self.parse_expression()
+        self._expect_op(";")
+        return ast.ExprStmt(expression)
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        var_type = self.parse_type()
+        name = self._expect_ident().text
+        if self._accept_op("["):
+            length_token = self._advance()
+            var_type = ast.TypeName(var_type.base, var_type.pointer_depth,
+                                    int(length_token.value), var_type.is_unsigned)
+            self._expect_op("]")
+        initializer = None
+        if self._accept_op("="):
+            initializer = self.parse_expression()
+        self._expect_op(";")
+        return ast.VarDecl(var_type, name, initializer)
+
+    def _parse_if(self) -> ast.IfStmt:
+        self._advance()
+        self._expect_op("(")
+        condition = self.parse_expression()
+        self._expect_op(")")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self._accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return ast.IfStmt(condition, then_branch, else_branch)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        self._advance()
+        self._expect_op("(")
+        condition = self.parse_expression()
+        self._expect_op(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(condition, body)
+
+    def _parse_for(self) -> ast.ForStmt:
+        self._advance()
+        self._expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_op(";"):
+            if self._at_type():
+                init = self._parse_var_decl()
+            else:
+                init = ast.ExprStmt(self.parse_expression())
+                self._expect_op(";")
+        else:
+            self._advance()
+        condition = None
+        if not self.current.is_op(";"):
+            condition = self.parse_expression()
+        self._expect_op(";")
+        step = None
+        if not self.current.is_op(")"):
+            step = self.parse_expression()
+        self._expect_op(")")
+        body = self.parse_statement()
+        return ast.ForStmt(init, condition, step, body)
+
+    # -- expressions -------------------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        if self.current.is_op("=") or (self.current.kind == "op"
+                                       and self.current.text in COMPOUND_ASSIGN_OPS):
+            op = self._advance().text
+            value = self._parse_assignment()
+            return ast.Assignment(left, value, op)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._accept_op("?"):
+            then_value = self.parse_expression()
+            self._expect_op(":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(condition, then_value, else_value)
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while (self.current.kind == "op" and self.current.text in PRECEDENCE
+               and PRECEDENCE[self.current.text] >= min_precedence):
+            op = self._advance().text
+            right = self._parse_binary(PRECEDENCE[op] + 1)
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self._advance()
+            return ast.UnaryOp(token.text, self._parse_unary())
+        if token.kind == "op" and token.text in ("++", "--"):
+            self._advance()
+            return ast.UnaryOp(token.text, self._parse_unary())
+        # cast expression: '(' type ')' unary
+        if token.is_op("(") and self._is_cast_ahead():
+            self._advance()
+            target_type = self.parse_type()
+            self._expect_op(")")
+            return ast.CastExpr(target_type, self._parse_unary())
+        if token.is_keyword("sizeof"):
+            self._advance()
+            self._expect_op("(")
+            target_type = self.parse_type()
+            self._expect_op(")")
+            return ast.SizeofExpr(target_type)
+        return self._parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        """Heuristic lookahead: '(' followed by a type keyword or known
+        struct name is a cast."""
+        next_token = self._peek(1)
+        if next_token.kind == "keyword" and next_token.text in (
+                BUILTIN_TYPE_NAMES | {"struct", "unsigned", "signed"}):
+            return True
+        if next_token.kind == "ident" and next_token.text in self.struct_names:
+            return True
+        return False
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._accept_op("["):
+                index = self.parse_expression()
+                self._expect_op("]")
+                expr = ast.IndexExpr(expr, index)
+            elif self._accept_op("."):
+                member = self._expect_ident().text
+                expr = ast.MemberExpr(expr, member, through_pointer=False)
+            elif self._accept_op("->"):
+                member = self._expect_ident().text
+                expr = ast.MemberExpr(expr, member, through_pointer=True)
+            elif self.current.kind == "op" and self.current.text in ("++", "--"):
+                op = self._advance().text
+                expr = ast.UnaryOp(op, expr, postfix=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(int(token.value))
+        if token.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(float(token.value))
+        if token.kind == "char":
+            self._advance()
+            return ast.IntLiteral(int(token.value))
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(str(token.value))
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLiteral(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLiteral(False)
+        if token.is_keyword("NULL") or token.is_keyword("null"):
+            self._advance()
+            return ast.NullLiteral()
+        if token.kind == "ident":
+            name = self._advance().text
+            if self.current.is_op("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self.current.is_op(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self._accept_op(","):
+                            break
+                self._expect_op(")")
+                return ast.CallExpr(name, args)
+            return ast.Identifier(name)
+        if token.is_op("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_op(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,12 @@
+"""IR interpreter, memory model and execution profiles."""
+
+from .interpreter import (ExternalFn, Interpreter, InterpreterError,
+                          IRException, Timeout, standard_externals)
+from .memory import Memory, MemoryError_
+from .profile import FunctionProfile, ModuleProfile, make_synthetic_profile
+
+__all__ = [
+    "Interpreter", "InterpreterError", "IRException", "Timeout", "ExternalFn",
+    "standard_externals", "Memory", "MemoryError_",
+    "FunctionProfile", "ModuleProfile", "make_synthetic_profile",
+]

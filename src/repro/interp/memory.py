@@ -1,0 +1,98 @@
+"""Byte-addressable memory model for the IR interpreter.
+
+Memory is a sparse byte store with a bump allocator.  Typed accesses encode
+scalar values into little-endian bytes, which makes loads/stores through
+bitcast pointers behave like real hardware (a prerequisite for validating
+merged functions that reuse storage across types, e.g. the sphinx example
+where a float32 and a float64 share a union-like slot).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from ..ir import types as ty
+
+
+class MemoryError_(Exception):
+    """Raised on invalid memory accesses (unallocated or out-of-range)."""
+
+
+class Memory:
+    """Sparse byte-addressable memory with a simple bump allocator."""
+
+    #: Addresses start above zero so that a null pointer (0) never aliases a
+    #: real allocation.
+    BASE_ADDRESS = 0x1000
+
+    def __init__(self):
+        self._bytes: Dict[int, int] = {}
+        self._next = self.BASE_ADDRESS
+        self._allocations: Dict[int, int] = {}
+
+    # -- allocation -------------------------------------------------------------
+    def allocate(self, size_bytes: int) -> int:
+        """Allocate ``size_bytes`` zero-initialised bytes, return the base
+        address.  Zero-sized allocations still get a unique address."""
+        size = max(1, size_bytes)
+        address = self._next
+        self._next += size + 8  # small red zone between allocations
+        self._allocations[address] = size
+        for i in range(size):
+            self._bytes[address + i] = 0
+        return address
+
+    def allocate_type(self, vtype: ty.Type) -> int:
+        return self.allocate(vtype.size_bytes())
+
+    def allocation_size(self, address: int) -> Optional[int]:
+        return self._allocations.get(address)
+
+    # -- raw byte access -----------------------------------------------------------
+    def read_bytes(self, address: int, size: int) -> bytes:
+        if address <= 0:
+            raise MemoryError_(f"read through null/invalid pointer {address:#x}")
+        return bytes(self._bytes.get(address + i, 0) for i in range(size))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if address <= 0:
+            raise MemoryError_(f"write through null/invalid pointer {address:#x}")
+        for i, byte in enumerate(data):
+            self._bytes[address + i] = byte
+
+    # -- typed access -----------------------------------------------------------------
+    def load(self, address: int, vtype: ty.Type):
+        """Load a scalar of the given type from memory."""
+        size = vtype.size_bytes()
+        raw = self.read_bytes(address, size)
+        if vtype.is_float:
+            fmt = "<f" if vtype.size_bits() == 32 else "<d"
+            return struct.unpack(fmt, raw)[0]
+        if vtype.is_pointer:
+            return int.from_bytes(raw, "little")
+        if vtype.is_integer:
+            value = int.from_bytes(raw, "little")
+            return value & ((1 << vtype.size_bits()) - 1)
+        if vtype.is_aggregate:
+            return raw
+        raise MemoryError_(f"cannot load value of type {vtype}")
+
+    def store(self, address: int, vtype: ty.Type, value) -> None:
+        """Store a scalar of the given type to memory."""
+        size = vtype.size_bytes()
+        if vtype.is_float:
+            fmt = "<f" if vtype.size_bits() == 32 else "<d"
+            self.write_bytes(address, struct.pack(fmt, float(value)))
+            return
+        if vtype.is_pointer:
+            self.write_bytes(address, int(value).to_bytes(8, "little"))
+            return
+        if vtype.is_integer:
+            masked = int(value) & ((1 << vtype.size_bits()) - 1)
+            self.write_bytes(address, masked.to_bytes(size, "little"))
+            return
+        if vtype.is_aggregate and isinstance(value, (bytes, bytearray)):
+            self.write_bytes(address, bytes(value[:size]))
+            return
+        raise MemoryError_(f"cannot store value of type {vtype}")

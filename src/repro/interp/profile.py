@@ -1,0 +1,97 @@
+"""Execution profiles.
+
+Profiles serve two purposes in the reproduction:
+
+* validating that merged code does not change observable behaviour while
+  counting the extra dynamic instructions it executes (the runtime-overhead
+  experiment, Figure 14), and
+* driving the profile-guided *hot function exclusion* discussed in
+  Section V-D (the 433.milc case study).
+
+Profiles are either measured by the interpreter or synthesised by the
+workload generators; both attach :class:`FunctionProfile` objects to
+``Function.profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+@dataclass
+class FunctionProfile:
+    """Dynamic execution statistics of one function."""
+
+    function_name: str
+    #: Number of times the function was entered.
+    call_count: int = 0
+    #: Dynamically executed IR instructions attributed to the function.
+    dynamic_instructions: int = 0
+    #: Executed instruction count per block name.
+    block_counts: Dict[str, int] = field(default_factory=dict)
+    #: Share of the whole program's dynamic instructions (0..1); filled by
+    #: :func:`normalize_profiles` or directly by synthetic generators.
+    relative_weight: float = 0.0
+
+    def record_block(self, block_name: str, instructions: int) -> None:
+        self.block_counts[block_name] = self.block_counts.get(block_name, 0) + instructions
+        self.dynamic_instructions += instructions
+
+    @property
+    def is_hot(self) -> bool:
+        """Convenience flag used by tests; the pass uses an explicit
+        threshold via :func:`repro.core.make_hotness_filter`."""
+        return self.relative_weight > 0.01
+
+
+@dataclass
+class ModuleProfile:
+    """Aggregated profile of a whole module / program run."""
+
+    functions: Dict[str, FunctionProfile] = field(default_factory=dict)
+
+    def for_function(self, name: str) -> FunctionProfile:
+        if name not in self.functions:
+            self.functions[name] = FunctionProfile(name)
+        return self.functions[name]
+
+    @property
+    def total_dynamic_instructions(self) -> int:
+        return sum(p.dynamic_instructions for p in self.functions.values())
+
+    def normalize(self) -> None:
+        total = self.total_dynamic_instructions
+        for profile in self.functions.values():
+            profile.relative_weight = (
+                profile.dynamic_instructions / total if total else 0.0)
+
+    def attach(self, module: Module) -> None:
+        """Attach the per-function profiles to the module's functions."""
+        self.normalize()
+        for function in module.functions:
+            profile = self.functions.get(function.name)
+            if profile is not None:
+                function.profile = profile
+
+    def hottest(self, count: int = 5) -> Iterable[FunctionProfile]:
+        return sorted(self.functions.values(),
+                      key=lambda p: p.dynamic_instructions, reverse=True)[:count]
+
+
+def make_synthetic_profile(function: Function, call_count: int,
+                           instructions_per_call: Optional[int] = None) -> FunctionProfile:
+    """Create a synthetic profile for workloads that are never executed.
+
+    ``instructions_per_call`` defaults to the static instruction count, i.e.
+    we pretend a typical invocation runs each instruction once.
+    """
+    per_call = instructions_per_call
+    if per_call is None:
+        per_call = max(1, function.instruction_count())
+    profile = FunctionProfile(function.name, call_count=call_count,
+                              dynamic_instructions=call_count * per_call)
+    return profile

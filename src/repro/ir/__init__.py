@@ -1,0 +1,25 @@
+"""Mini-IR: a typed, LLVM-like intermediate representation in pure Python.
+
+Public surface re-exported here for convenience::
+
+    from repro.ir import Module, Function, IRBuilder, types, values
+"""
+
+from . import types
+from . import values
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .callgraph import CallGraph
+from .function import Function
+from .instructions import (ALL_OPCODES, BINARY_OPS, CAST_OPS, COMMUTATIVE_OPS,
+                           TERMINATOR_OPS, Instruction)
+from .module import Module
+from .printer import function_to_str, module_to_str
+from .verifier import VerificationError, verify_function, verify_module, verify_or_raise
+
+__all__ = [
+    "types", "values", "BasicBlock", "IRBuilder", "CallGraph", "Function",
+    "Instruction", "Module", "function_to_str", "module_to_str",
+    "VerificationError", "verify_function", "verify_module", "verify_or_raise",
+    "ALL_OPCODES", "BINARY_OPS", "CAST_OPS", "COMMUTATIVE_OPS", "TERMINATOR_OPS",
+]

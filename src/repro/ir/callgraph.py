@@ -1,0 +1,85 @@
+"""Call graph construction and queries.
+
+The exploration framework updates the call graph after each committed merge
+(Figure 7 of the paper); the thunk machinery uses it to find all direct call
+sites of the original functions and to detect address-taken functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .function import Function
+from .instructions import Instruction
+from .module import Module
+
+
+class CallGraph:
+    """Direct-call graph of a module.
+
+    Only direct calls (``call``/``invoke`` whose callee operand is a
+    :class:`Function`) create edges.  Functions whose value appears as a
+    non-callee operand anywhere are flagged as *address taken*, which makes
+    them ineligible for removal after merging.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.call_sites: Dict[str, List[Instruction]] = {}
+        self.address_taken: Set[str] = set()
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self.callees = {f.name: set() for f in self.module.functions}
+        self.callers = {f.name: set() for f in self.module.functions}
+        self.call_sites = {f.name: [] for f in self.module.functions}
+        self.address_taken = set()
+        for function in self.module.functions:
+            for inst in function.instructions():
+                if inst.opcode in ("call", "invoke"):
+                    callee = inst.operands[0]
+                    if isinstance(callee, Function):
+                        self.callees[function.name].add(callee.name)
+                        self.callers.setdefault(callee.name, set()).add(function.name)
+                        self.call_sites.setdefault(callee.name, []).append(inst)
+                        extra_operands = inst.operands[1:]
+                    else:
+                        extra_operands = inst.operands
+                    for op in extra_operands:
+                        if isinstance(op, Function):
+                            self.address_taken.add(op.name)
+                            op.address_taken = True
+                else:
+                    for op in inst.operands:
+                        if isinstance(op, Function):
+                            self.address_taken.add(op.name)
+                            op.address_taken = True
+
+    # -- queries -----------------------------------------------------------------
+    def callees_of(self, function: Function) -> List[Function]:
+        return [self.module.get_function(n) for n in sorted(self.callees.get(function.name, ()))
+                if self.module.get_function(n) is not None]
+
+    def callers_of(self, function: Function) -> List[Function]:
+        return [self.module.get_function(n) for n in sorted(self.callers.get(function.name, ()))
+                if self.module.get_function(n) is not None]
+
+    def direct_call_sites(self, function: Function) -> List[Instruction]:
+        """All call/invoke instructions in the module that directly call
+        ``function`` and are still attached to a block."""
+        return [site for site in self.call_sites.get(function.name, [])
+                if site.parent is not None]
+
+    def is_address_taken(self, function: Function) -> bool:
+        return function.name in self.address_taken
+
+    def is_leaf(self, function: Function) -> bool:
+        return not self.callees.get(function.name)
+
+    def is_dead(self, function: Function) -> bool:
+        """True when an internal, non-address-taken function has no callers."""
+        return (function.linkage == "internal"
+                and not self.is_address_taken(function)
+                and not self.callers.get(function.name))

@@ -1,0 +1,125 @@
+"""Control-flow graph utilities.
+
+The FMSA linearizer needs a deterministic *reverse post-order* traversal with
+a canonical ordering of successors (Section III-B of the paper); dominance
+information is used by the verifier and by ``mem2reg``-style analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .basicblock import BasicBlock
+from .function import Function
+
+
+def successors(block: BasicBlock) -> List[BasicBlock]:
+    """Successor blocks in canonical order.
+
+    Canonical order follows operand order of the terminator: for a
+    conditional branch that is (true target, false target); for a switch it
+    is (default, case0, case1, ...); for an invoke it is (normal, unwind).
+    Duplicate successors are collapsed while preserving first occurrence.
+    """
+    seen: Set[int] = set()
+    ordered: List[BasicBlock] = []
+    for succ in block.successors():
+        if id(succ) not in seen:
+            seen.add(id(succ))
+            ordered.append(succ)
+    return ordered
+
+
+def predecessors(block: BasicBlock) -> List[BasicBlock]:
+    return block.predecessors()
+
+
+def post_order(function: Function) -> List[BasicBlock]:
+    """Iterative post-order traversal from the entry block.
+
+    Successors are visited in *reverse* canonical order so that the derived
+    reverse post-order lists the first (canonical) successor of a block
+    before its later successors, giving the deterministic layout the
+    linearizer relies on.
+    """
+    if function.is_declaration:
+        return []
+    visited: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack: List[tuple] = [(function.entry_block,
+                           iter(reversed(successors(function.entry_block))))]
+    visited.add(id(function.entry_block))
+    while stack:
+        block, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if id(succ) not in visited:
+                visited.add(id(succ))
+                stack.append((succ, iter(reversed(successors(succ)))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_post_order(function: Function) -> List[BasicBlock]:
+    """Reverse post-order over the CFG; unreachable blocks are appended at
+    the end in their textual order so no code is silently dropped."""
+    rpo = list(reversed(post_order(function)))
+    reached = {id(b) for b in rpo}
+    for block in function.blocks:
+        if id(block) not in reached:
+            rpo.append(block)
+    return rpo
+
+
+def reachable_blocks(function: Function) -> Set[int]:
+    return {id(b) for b in post_order(function)}
+
+
+def compute_dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Classic iterative dominator computation.
+
+    Returns a mapping from block to the set of blocks that dominate it
+    (including itself).  Unreachable blocks are given the full set.
+    """
+    if function.is_declaration:
+        return {}
+    blocks = function.blocks
+    entry = function.entry_block
+    all_blocks = set(blocks)
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {b: set(all_blocks) for b in blocks}
+    dom[entry] = {entry}
+    changed = True
+    rpo = reverse_post_order(function)
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            preds = predecessors(block)
+            if not preds:
+                continue
+            new_set = set(all_blocks)
+            for pred in preds:
+                new_set &= dom[pred]
+            new_set.add(block)
+            if new_set != dom[block]:
+                dom[block] = new_set
+                changed = True
+    return dom
+
+
+def is_reachable(function: Function, block: BasicBlock) -> bool:
+    return id(block) in reachable_blocks(function)
+
+
+def edges(function: Function) -> List[tuple]:
+    """All CFG edges as (source, target) pairs."""
+    result = []
+    for block in function.blocks:
+        for succ in successors(block):
+            result.append((block, succ))
+    return result

@@ -1,0 +1,122 @@
+"""Functions: named, typed containers of basic blocks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from . import types as ty
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import Module
+
+
+#: Linkage kinds.  ``internal`` functions may be deleted after merging when no
+#: uses remain; ``external`` functions must be kept (possibly as thunks)
+#: because other translation units or indirect callers may reference them.
+LINKAGE_KINDS = ("internal", "external")
+
+
+class Function(Value):
+    """A function definition or declaration.
+
+    The value type of a function is a pointer to its function type so that it
+    can be used directly as a call operand or stored in memory (address
+    taken).
+    """
+
+    def __init__(self, name: str, function_type: ty.FunctionType,
+                 module: Optional["Module"] = None,
+                 linkage: str = "internal",
+                 arg_names: Optional[List[str]] = None):
+        super().__init__(ty.pointer(function_type), name)
+        if linkage not in LINKAGE_KINDS:
+            raise ValueError(f"bad linkage: {linkage}")
+        self.function_type = function_type
+        self.module = module
+        self.linkage = linkage
+        #: Set when the function's address escapes (stored, passed as data,
+        #: or called indirectly); prevents deleting the original after a merge.
+        self.address_taken = False
+        self.blocks: List[BasicBlock] = []
+        self.arguments: List[Argument] = []
+        names = arg_names or []
+        for i, ptype in enumerate(function_type.param_types):
+            arg_name = names[i] if i < len(names) else f"arg{i}"
+            self.arguments.append(Argument(ptype, arg_name, i, self))
+        self._next_temp_id = 0
+        #: Optional execution profile attached by the profiler: maps blocks to
+        #: execution frequencies.  ``None`` when no profile is available.
+        self.profile = None
+        #: Marker used by the evaluation harness to tag merged functions.
+        self.merged_from: Optional[tuple] = None
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def return_type(self) -> ty.Type:
+        return self.function_type.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def append_block(self, name: str = "") -> BasicBlock:
+        block = BasicBlock(name or self.next_name("bb"), self)
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, anchor: BasicBlock, name: str = "") -> BasicBlock:
+        block = BasicBlock(name or self.next_name("bb"), self)
+        self.blocks.insert(self.blocks.index(anchor) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def next_name(self, prefix: str = "t") -> str:
+        self._next_temp_id += 1
+        return f"{prefix}{self._next_temp_id}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def drop_body(self) -> None:
+        """Delete every block (used when a function becomes a thunk or is
+        replaced entirely)."""
+        for block in list(self.blocks):
+            for inst in list(block.instructions):
+                inst.drop_all_operands()
+                inst.parent = None
+            block.instructions = []
+            block.parent = None
+        self.blocks = []
+
+    def callers(self) -> List[Instruction]:
+        """Call/invoke instructions anywhere in the module that call this
+        function directly."""
+        return [user for user in self.users
+                if isinstance(user, Instruction)
+                and user.opcode in ("call", "invoke")
+                and user.operands and user.operands[0] is self]
+
+    def can_be_deleted(self) -> bool:
+        """True if the function body may be removed entirely once all direct
+        calls have been redirected (Section III-A of the paper)."""
+        return self.linkage == "internal" and not self.address_taken
+
+    def __str__(self) -> str:
+        from .printer import function_to_str
+        return function_to_str(self)

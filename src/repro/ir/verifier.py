@@ -1,0 +1,173 @@
+"""IR verifier.
+
+The verifier checks the structural well-formedness rules that the merging
+passes rely on.  It returns a list of human-readable error strings; an empty
+list means the input verified cleanly.  ``verify_or_raise`` wraps this for
+use in tests and the evaluation pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import types as ty
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import Instruction
+from .module import Module
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    """Raised by :func:`verify_or_raise` when the IR is malformed."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_function(function: Function) -> List[str]:
+    errors: List[str] = []
+    name = function.name
+
+    if function.is_declaration:
+        return errors
+
+    if len(function.arguments) != len(function.function_type.param_types):
+        errors.append(f"{name}: argument count does not match function type")
+
+    defined: set = set()
+    for arg in function.arguments:
+        defined.add(id(arg))
+    for block in function.blocks:
+        defined.add(id(block))
+        for inst in block.instructions:
+            defined.add(id(inst))
+
+    for block in function.blocks:
+        if block.parent is not function:
+            errors.append(f"{name}/{block.name}: block parent link broken")
+        if not block.instructions:
+            errors.append(f"{name}/{block.name}: empty basic block")
+            continue
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            errors.append(f"{name}/{block.name}: block does not end in a terminator")
+        for i, inst in enumerate(block.instructions):
+            errors.extend(_verify_instruction(function, block, inst, i, defined))
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                errors.append(f"{name}/{block.name}: terminator in the middle of a block")
+    return errors
+
+
+def _verify_instruction(function: Function, block: BasicBlock,
+                        inst: Instruction, index: int, defined: set) -> List[str]:
+    errors: List[str] = []
+    where = f"{function.name}/{block.name}[{index}] {inst.opcode}"
+
+    if inst.parent is not block:
+        errors.append(f"{where}: parent link broken")
+
+    for op in inst.operands:
+        if isinstance(op, (Constant,)):
+            continue
+        if isinstance(op, Function):
+            continue
+        if isinstance(op, (Argument, BasicBlock, Instruction)):
+            if id(op) not in defined:
+                errors.append(f"{where}: operand {op.short_name()} defined in another function")
+            continue
+        # global variables and other module-level values are fine
+    # opcode specific checks
+    op = inst.opcode
+    if op == "br":
+        if len(inst.operands) == 3:
+            if inst.operands[0].type != ty.I1:
+                errors.append(f"{where}: branch condition must be i1")
+            if not all(isinstance(t, BasicBlock) for t in inst.operands[1:]):
+                errors.append(f"{where}: branch targets must be blocks")
+        elif len(inst.operands) == 1:
+            if not isinstance(inst.operands[0], BasicBlock):
+                errors.append(f"{where}: branch target must be a block")
+        else:
+            errors.append(f"{where}: malformed branch")
+    elif op == "ret":
+        want = function.return_type
+        if want.is_void:
+            if inst.operands:
+                errors.append(f"{where}: returning a value from a void function")
+        else:
+            if not inst.operands:
+                errors.append(f"{where}: missing return value")
+            elif inst.operands[0].type != want and not ty.can_losslessly_bitcast(
+                    inst.operands[0].type, want):
+                errors.append(f"{where}: return type mismatch "
+                              f"({inst.operands[0].type} vs {want})")
+    elif op == "store":
+        value, pointer_value = inst.operands[0], inst.operands[1]
+        if not pointer_value.type.is_pointer:
+            errors.append(f"{where}: store target is not a pointer")
+        elif (pointer_value.type.pointee != value.type
+              and not ty.can_losslessly_bitcast(value.type, pointer_value.type.pointee)):
+            errors.append(f"{where}: stored type {value.type} does not match "
+                          f"pointee {pointer_value.type.pointee}")
+    elif op == "load":
+        if not inst.operands[0].type.is_pointer:
+            errors.append(f"{where}: load source is not a pointer")
+    elif op in ("icmp", "fcmp"):
+        a, b = inst.operands
+        if a.type != b.type and not ty.can_losslessly_bitcast(a.type, b.type):
+            errors.append(f"{where}: comparison operand types differ ({a.type} vs {b.type})")
+    elif inst.is_binary:
+        a, b = inst.operands
+        if a.type != b.type:
+            errors.append(f"{where}: binary operand types differ ({a.type} vs {b.type})")
+    elif op == "select":
+        cond, tv, fv = inst.operands
+        if cond.type != ty.I1:
+            errors.append(f"{where}: select condition must be i1")
+        if tv.type != fv.type and not ty.can_losslessly_bitcast(tv.type, fv.type):
+            errors.append(f"{where}: select arms have different types")
+    elif op == "phi":
+        if index >= block.first_non_phi_index() and not inst.is_phi:
+            errors.append(f"{where}: phi after non-phi")
+    elif op == "call":
+        callee = inst.operands[0]
+        fnty = getattr(callee, "function_type", None)
+        if fnty is not None and not fnty.is_vararg:
+            if len(inst.operands) - 1 != len(fnty.param_types):
+                errors.append(f"{where}: call argument count mismatch for "
+                              f"{getattr(callee, 'name', '?')}")
+            else:
+                for arg, want in zip(inst.operands[1:], fnty.param_types):
+                    if arg.type != want and not ty.can_losslessly_bitcast(arg.type, want):
+                        errors.append(f"{where}: call argument type {arg.type} "
+                                      f"does not match parameter {want}")
+    elif op == "invoke":
+        unwind = inst.operands[-1]
+        if isinstance(unwind, BasicBlock) and not unwind.is_landing_block:
+            errors.append(f"{where}: invoke unwind destination is not a landing block")
+    elif op == "landingpad":
+        if index != 0:
+            errors.append(f"{where}: landingpad must be the first instruction of its block")
+    return errors
+
+
+def verify_module(module: Module) -> List[str]:
+    errors: List[str] = []
+    for function in module.functions:
+        errors.extend(verify_function(function))
+    return errors
+
+
+def verify_or_raise(obj) -> None:
+    """Verify a Module or Function, raising :class:`VerificationError` on
+    any problem."""
+    if isinstance(obj, Module):
+        errors = verify_module(obj)
+    elif isinstance(obj, Function):
+        errors = verify_function(obj)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot verify {type(obj)!r}")
+    if errors:
+        raise VerificationError(errors)

@@ -1,0 +1,12 @@
+"""Generic IR passes used by the -Os-like pre-pipeline and cleanups."""
+
+from .dce import DeadCodeElimination, DeadFunctionElimination
+from .pass_manager import FunctionPass, Pass, PassManager
+from .reg2mem import RegToMem, demote_phis
+from .simplify_cfg import SimplifyCFG
+
+__all__ = [
+    "Pass", "FunctionPass", "PassManager",
+    "DeadCodeElimination", "DeadFunctionElimination",
+    "SimplifyCFG", "RegToMem", "demote_phis",
+]

@@ -1,0 +1,61 @@
+"""Dead-code elimination passes.
+
+Two flavours are provided:
+
+* :class:`DeadCodeElimination` — removes side-effect-free instructions whose
+  results have no users (iterated to a fixed point).
+* :class:`DeadFunctionElimination` — removes internal functions that are
+  never referenced; this is what makes full removal of merged originals
+  actually shrink the module.
+"""
+
+from __future__ import annotations
+
+from ..ir.callgraph import CallGraph
+from ..ir.function import Function
+from ..ir.module import Module
+from .pass_manager import FunctionPass, Pass
+
+
+class DeadCodeElimination(FunctionPass):
+    """Classic trivially-dead-instruction elimination."""
+
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if inst.has_side_effects or inst.is_terminator:
+                        continue
+                    if inst.type.is_void:
+                        continue
+                    if not inst.users:
+                        inst.erase_from_parent()
+                        changed = True
+                        progress = True
+        return changed
+
+
+class DeadFunctionElimination(Pass):
+    """Remove internal functions with no remaining references."""
+
+    name = "dead-function-elim"
+
+    def run(self, module: Module) -> int:
+        removed = 0
+        progress = True
+        while progress:
+            progress = False
+            graph = CallGraph(module)
+            for function in list(module.functions):
+                if function.is_declaration:
+                    continue
+                if graph.is_dead(function) and not function.users:
+                    module.remove_function(function)
+                    removed += 1
+                    progress = True
+        return removed

@@ -1,0 +1,10 @@
+"""Target code-size cost models (TTI-like interface)."""
+
+from .arm_thumb import ARM_THUMB, ArmThumbCostModel
+from .cost_model import TargetCostModel, available_targets, get_target, register_target
+from .x86_64 import X86_64, X86CostModel
+
+__all__ = [
+    "TargetCostModel", "get_target", "register_target", "available_targets",
+    "X86CostModel", "ArmThumbCostModel", "X86_64", "ARM_THUMB",
+]

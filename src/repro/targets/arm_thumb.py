@@ -1,0 +1,48 @@
+"""ARM Thumb code-size cost model (ARM target of the paper's evaluation)."""
+
+from __future__ import annotations
+
+from .cost_model import TargetCostModel, register_target
+
+
+class ArmThumbCostModel(TargetCostModel):
+    """Approximate byte sizes of Thumb-2 encodings for each IR opcode.
+
+    Thumb mixes 16-bit and 32-bit encodings: simple ALU operations on low
+    registers are 2 bytes, wider operations and memory accesses with offsets
+    are 4, calls (BL) are 4, and integer division/selects expand into short
+    sequences.  The register budget for arguments is smaller than x86-64
+    (r0-r3), so wide parameter lists are relatively more expensive, which is
+    one of the second-order target differences the paper mentions.
+    """
+
+    name = "arm-thumb"
+    default_cost = 4
+    function_overhead = 8
+    per_argument_overhead = 2
+    free_argument_registers = 4
+
+    opcode_costs = {
+        # integer ALU
+        "add": 2, "sub": 2, "mul": 4, "sdiv": 4, "udiv": 4, "srem": 8, "urem": 8,
+        "and": 2, "or": 2, "xor": 2, "shl": 2, "lshr": 2, "ashr": 2,
+        # float ALU (VFP)
+        "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 4, "frem": 12,
+        # comparisons
+        "icmp": 2, "fcmp": 4,
+        # memory
+        "alloca": 2, "load": 4, "store": 4, "gep": 4,
+        # calls & control flow
+        "call": 4, "invoke": 8, "landingpad": 8,
+        "br": 2, "switch": 8, "ret": 2, "unreachable": 2,
+        # data movement
+        "select": 6, "phi": 2, "freeze": 0,
+        # casts
+        "bitcast": 0, "zext": 2, "sext": 2, "trunc": 2,
+        "fptrunc": 4, "fpext": 4, "sitofp": 4, "uitofp": 4,
+        "fptosi": 4, "fptoui": 4, "ptrtoint": 0, "inttoptr": 0,
+    }
+
+
+#: Singleton instance registered for :func:`repro.targets.get_target`.
+ARM_THUMB = register_target(ArmThumbCostModel())

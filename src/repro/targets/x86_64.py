@@ -1,0 +1,47 @@
+"""x86-64 code-size cost model (Intel target of the paper's evaluation)."""
+
+from __future__ import annotations
+
+from .cost_model import TargetCostModel, register_target
+
+
+class X86CostModel(TargetCostModel):
+    """Approximate byte sizes of x86-64 encodings for each IR opcode.
+
+    x86-64 has variable-length encodings: simple register ALU operations are
+    about 3 bytes, memory operations with a ModRM/SIB byte and displacement
+    around 4-6, calls 5, conditional branches 2-6.  Casts between integer
+    registers are often free (sub-register addressing) while int<->float
+    conversions need SSE instructions.
+    """
+
+    name = "x86-64"
+    default_cost = 4
+    function_overhead = 10
+    per_argument_overhead = 2
+    free_argument_registers = 6
+
+    opcode_costs = {
+        # integer ALU
+        "add": 3, "sub": 3, "mul": 4, "sdiv": 6, "udiv": 6, "srem": 6, "urem": 6,
+        "and": 3, "or": 3, "xor": 3, "shl": 3, "lshr": 3, "ashr": 3,
+        # float ALU (SSE scalar)
+        "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 5, "frem": 8,
+        # comparisons
+        "icmp": 3, "fcmp": 4,
+        # memory
+        "alloca": 4, "load": 4, "store": 4, "gep": 4,
+        # calls & control flow
+        "call": 5, "invoke": 7, "landingpad": 6,
+        "br": 2, "switch": 6, "ret": 2, "unreachable": 1,
+        # data movement
+        "select": 6, "phi": 3, "freeze": 0,
+        # casts
+        "bitcast": 0, "zext": 3, "sext": 3, "trunc": 2,
+        "fptrunc": 4, "fpext": 4, "sitofp": 5, "uitofp": 5,
+        "fptosi": 5, "fptoui": 5, "ptrtoint": 0, "inttoptr": 0,
+    }
+
+
+#: Singleton instance registered for :func:`repro.targets.get_target`.
+X86_64 = register_target(X86CostModel())

@@ -1,0 +1,28 @@
+"""Workloads: synthetic SPEC CPU2006 / MiBench models and mini-C case studies."""
+
+from .case_studies import (CASE_STUDY_PAIRS, LIBQUANTUM_SOURCE, RIJNDAEL_SOURCE,
+                           SOURCES, SPHINX_SOURCE, case_study_module,
+                           libquantum_module, rijndael_module, sphinx_module)
+from .generators import (FamilySpec, FunctionSpec, add_call_sites,
+                         add_extra_instructions, add_guard_block, build_function,
+                         clone_function, make_family, mutate_constants,
+                         mutate_opcodes)
+from .mibench import (MIBENCH_BENCHMARKS, MIBENCH_BY_NAME, build_mibench_benchmark,
+                      build_mibench_suite, mibench_benchmark_names)
+from .spec2006 import (SPEC_BENCHMARKS, SPEC_BY_NAME, build_spec_benchmark,
+                       build_spec_suite, spec_benchmark_names)
+from .suites import BenchmarkConfig, GeneratedBenchmark, build_benchmark_module
+
+__all__ = [
+    "CASE_STUDY_PAIRS", "SOURCES", "SPHINX_SOURCE", "LIBQUANTUM_SOURCE",
+    "RIJNDAEL_SOURCE", "case_study_module", "sphinx_module", "libquantum_module",
+    "rijndael_module",
+    "FunctionSpec", "FamilySpec", "build_function", "clone_function", "make_family",
+    "mutate_opcodes", "mutate_constants", "add_guard_block", "add_extra_instructions",
+    "add_call_sites",
+    "BenchmarkConfig", "GeneratedBenchmark", "build_benchmark_module",
+    "SPEC_BENCHMARKS", "SPEC_BY_NAME", "build_spec_benchmark", "build_spec_suite",
+    "spec_benchmark_names",
+    "MIBENCH_BENCHMARKS", "MIBENCH_BY_NAME", "build_mibench_benchmark",
+    "build_mibench_suite", "mibench_benchmark_names",
+]

@@ -1,0 +1,99 @@
+"""SPEC CPU2006 benchmark models (Table I of the paper).
+
+``functions`` and ``avg_size`` come directly from Table I (number of
+functions present just before function merging and their average size in IR
+instructions).  The similarity mixes are calibrated so that the *relative*
+behaviour of the three techniques matches Figure 10:
+
+* the templated C++ benchmarks (dealII, xalancbmk, soplex, omnetpp, povray)
+  contain identical and structurally similar families that all techniques can
+  exploit, plus partially similar code only FMSA reaches;
+* libquantum and sphinx3 contain almost exclusively *partially* similar
+  functions (different signatures / extra blocks), which is why the paper
+  reports large FMSA-only reductions there;
+* lbm has essentially no mergeable code at all;
+* the remaining C benchmarks have small partial shares.
+
+Hot-merge-candidate counts reproduce the Figure 14 discussion: 433.milc,
+447.dealII and 464.h264ref are the benchmarks where merging touches hot code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .suites import BenchmarkConfig, GeneratedBenchmark, build_benchmark_module
+
+#: Table I: name -> (#Fns, avg size) plus calibrated similarity mix.
+SPEC_BENCHMARKS: List[BenchmarkConfig] = [
+    BenchmarkConfig("400.perlbench", "spec2006", 1699, 125,
+                    identical_share=0.04, structural_share=0.10, partial_share=0.22),
+    BenchmarkConfig("401.bzip2", "spec2006", 74, 206,
+                    identical_share=0.0, structural_share=0.0, partial_share=0.20),
+    BenchmarkConfig("403.gcc", "spec2006", 4541, 128,
+                    identical_share=0.05, structural_share=0.10, partial_share=0.25),
+    BenchmarkConfig("429.mcf", "spec2006", 24, 87,
+                    identical_share=0.0, structural_share=0.08, partial_share=0.10),
+    BenchmarkConfig("433.milc", "spec2006", 235, 68,
+                    identical_share=0.0, structural_share=0.05, partial_share=0.28,
+                    hot_merge_candidates=3),
+    BenchmarkConfig("444.namd", "spec2006", 99, 571,
+                    identical_share=0.02, structural_share=0.02, partial_share=0.10,
+                    language="c++"),
+    BenchmarkConfig("445.gobmk", "spec2006", 2511, 43,
+                    identical_share=0.07, structural_share=0.12, partial_share=0.18),
+    BenchmarkConfig("447.dealII", "spec2006", 7380, 61,
+                    identical_share=0.25, structural_share=0.13, partial_share=0.20,
+                    hot_merge_candidates=1, language="c++"),
+    BenchmarkConfig("450.soplex", "spec2006", 1035, 73,
+                    identical_share=0.03, structural_share=0.09, partial_share=0.18,
+                    language="c++"),
+    BenchmarkConfig("453.povray", "spec2006", 1585, 98,
+                    identical_share=0.04, structural_share=0.07, partial_share=0.16,
+                    language="c++"),
+    BenchmarkConfig("456.hmmer", "spec2006", 487, 100,
+                    identical_share=0.01, structural_share=0.03, partial_share=0.16),
+    BenchmarkConfig("458.sjeng", "spec2006", 134, 145,
+                    identical_share=0.0, structural_share=0.04, partial_share=0.12),
+    BenchmarkConfig("462.libquantum", "spec2006", 95, 57,
+                    identical_share=0.0, structural_share=0.02, partial_share=0.45),
+    BenchmarkConfig("464.h264ref", "spec2006", 523, 171,
+                    identical_share=0.01, structural_share=0.04, partial_share=0.16,
+                    hot_merge_candidates=2),
+    BenchmarkConfig("470.lbm", "spec2006", 17, 123,
+                    identical_share=0.0, structural_share=0.0, partial_share=0.0),
+    BenchmarkConfig("471.omnetpp", "spec2006", 1406, 27,
+                    identical_share=0.06, structural_share=0.05, partial_share=0.30,
+                    language="c++"),
+    BenchmarkConfig("473.astar", "spec2006", 101, 67,
+                    identical_share=0.0, structural_share=0.04, partial_share=0.08,
+                    language="c++"),
+    BenchmarkConfig("482.sphinx3", "spec2006", 326, 80,
+                    identical_share=0.01, structural_share=0.04, partial_share=0.40),
+    BenchmarkConfig("483.xalancbmk", "spec2006", 14191, 39,
+                    identical_share=0.22, structural_share=0.11, partial_share=0.22,
+                    language="c++"),
+]
+
+SPEC_BY_NAME: Dict[str, BenchmarkConfig] = {b.name: b for b in SPEC_BENCHMARKS}
+
+
+def spec_benchmark_names() -> List[str]:
+    return [b.name for b in SPEC_BENCHMARKS]
+
+
+def build_spec_benchmark(name: str, scale: float = 0.01, cap: int = 48,
+                         seed: int = 0) -> GeneratedBenchmark:
+    """Generate the synthetic module for one SPEC benchmark."""
+    config = SPEC_BY_NAME.get(name)
+    if config is None:
+        raise KeyError(f"unknown SPEC benchmark {name!r}")
+    return build_benchmark_module(config, scale=scale, cap=cap, seed=seed)
+
+
+def build_spec_suite(names: Optional[List[str]] = None, scale: float = 0.01,
+                     cap: int = 48, seed: int = 0) -> List[GeneratedBenchmark]:
+    """Generate modules for a list of SPEC benchmarks (all by default)."""
+    selected = names or spec_benchmark_names()
+    return [build_spec_benchmark(name, scale=scale, cap=cap, seed=seed)
+            for name in selected]

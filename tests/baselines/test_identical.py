@@ -1,0 +1,102 @@
+"""Tests for the Identical (LLVM MergeFunctions-style) baseline."""
+
+import random
+
+from repro.baselines import (IdenticalFunctionMergingPass, functions_identical,
+                             structural_hash)
+from repro.ir import IRBuilder, Module, verify_or_raise
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.workloads import clone_function, mutate_constants, mutate_opcodes
+
+from tests.helpers import make_binary_chain_function, make_caller, run_function
+
+
+class TestIdentityCheck:
+    def test_clone_is_identical(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add", "mul"])
+        copy = clone_function(module, base, "copy")
+        assert structural_hash(base) == structural_hash(copy)
+        assert functions_identical(base, copy)
+
+    def test_different_constant_not_identical(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add"], constant=3)
+        other = make_binary_chain_function(module, "other", ["add"], constant=4)
+        assert not functions_identical(base, other)
+
+    def test_different_opcode_not_identical(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add"])
+        other = make_binary_chain_function(module, "other", ["sub"])
+        assert not functions_identical(base, other)
+        assert structural_hash(base) != structural_hash(other)
+
+    def test_different_signature_not_identical(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add"])
+        extra = clone_function(module, base, "extra", extra_param_types=[ty.I64])
+        assert not functions_identical(base, extra)
+
+    def test_mutated_clone_not_identical(self):
+        module = Module()
+        rng = random.Random(1)
+        base = make_binary_chain_function(module, "base", ["add", "mul", "xor"])
+        mutated = clone_function(module, base, "mutated")
+        mutate_opcodes(mutated, rng, fraction=1.0)
+        assert not functions_identical(base, mutated)
+
+    def test_value_numbering_handles_operand_topology(self):
+        # two functions with the same multiset of instructions but different
+        # dataflow must NOT be identical
+        module = Module()
+        f1 = module.create_function("f1", ty.function_type(ty.I32, [ty.I32, ty.I32]))
+        builder = IRBuilder(f1.append_block("entry"))
+        a1 = builder.add(f1.arguments[0], f1.arguments[1])
+        builder.ret(builder.add(a1, f1.arguments[0]))
+        f2 = module.create_function("f2", ty.function_type(ty.I32, [ty.I32, ty.I32]))
+        builder = IRBuilder(f2.append_block("entry"))
+        a2 = builder.add(f2.arguments[0], f2.arguments[1])
+        builder.ret(builder.add(a2, f2.arguments[1]))
+        assert not functions_identical(f1, f2)
+
+
+class TestIdenticalPass:
+    def test_folds_identical_clones(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add", "mul"])
+        clones = [clone_function(module, base, f"copy{i}") for i in range(3)]
+        make_caller(module, "main", [base] + clones)
+        before = run_function(module, "main", [5])
+        report = IdenticalFunctionMergingPass().run(module)
+        assert report.merge_count == 3
+        verify_or_raise(module)
+        assert run_function(module, "main", [5]) == before
+        # the duplicates were internal and uncalled after retargeting
+        assert module.get_function("copy0") is None
+
+    def test_ignores_non_identical_functions(self):
+        module = Module()
+        f1 = make_binary_chain_function(module, "a", ["add"])
+        f2 = make_binary_chain_function(module, "b", ["sub"])
+        make_caller(module, "main", [f1, f2])
+        report = IdenticalFunctionMergingPass().run(module)
+        assert report.merge_count == 0
+
+    def test_external_duplicate_becomes_thunk(self):
+        module = Module()
+        base = make_binary_chain_function(module, "base", ["add", "mul"])
+        dup = clone_function(module, base, "dup")
+        dup.linkage = "external"
+        make_caller(module, "main", [base, dup])
+        before = run_function(module, "main", [4])
+        report = IdenticalFunctionMergingPass().run(module)
+        assert report.merge_count == 1
+        thunk = module.get_function("dup")
+        assert thunk is not None and thunk.instruction_count() == 2
+        verify_or_raise(module)
+        assert run_function(module, "main", [4]) == before
+
+    def test_no_merges_reported_for_empty_module(self):
+        assert IdenticalFunctionMergingPass().run(Module()).merge_count == 0

@@ -1,0 +1,142 @@
+"""Tests for fingerprints, the UB similarity estimate and candidate ranking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CandidateRanker, Fingerprint, fingerprint_module, similarity
+from repro.ir import Module
+from repro.ir import types as ty
+from repro.workloads import clone_function, mutate_opcodes
+
+from tests.helpers import make_accumulator_function, make_binary_chain_function
+
+
+def _module_with_functions():
+    module = Module()
+    add_like = make_binary_chain_function(module, "add_like", ["add", "add"])
+    sub_like = make_binary_chain_function(module, "sub_like", ["add", "sub"])
+    loop = make_accumulator_function(module, "loop")
+    return module, add_like, sub_like, loop
+
+
+class TestFingerprint:
+    def test_opcode_frequencies_counted(self):
+        module, add_like, _, _ = _module_with_functions()
+        fp = Fingerprint.of(add_like)
+        assert fp.opcode_freq["add"] == 2
+        assert fp.opcode_freq["ret"] == 2
+        assert fp.size == add_like.instruction_count()
+
+    def test_type_frequencies_include_operands(self):
+        module, add_like, _, _ = _module_with_functions()
+        fp = Fingerprint.of(add_like)
+        assert fp.type_freq[("int", 32)] > 0
+
+    def test_identical_functions_score_half(self):
+        module, add_like, _, _ = _module_with_functions()
+        clone = clone_function(module, add_like, "add_clone")
+        assert similarity(Fingerprint.of(add_like), Fingerprint.of(clone)) == pytest.approx(0.5)
+
+    def test_similarity_is_symmetric_and_bounded(self):
+        module, add_like, sub_like, loop = _module_with_functions()
+        fps = [Fingerprint.of(f) for f in (add_like, sub_like, loop)]
+        for a in fps:
+            for b in fps:
+                s = similarity(a, b)
+                assert 0.0 <= s <= 0.5
+                assert s == pytest.approx(similarity(b, a))
+
+    def test_similar_functions_rank_above_dissimilar(self):
+        module, add_like, sub_like, loop = _module_with_functions()
+        fp = Fingerprint.of(add_like)
+        assert similarity(fp, Fingerprint.of(sub_like)) > similarity(fp, Fingerprint.of(loop))
+
+    def test_fingerprint_module_keys_by_name(self):
+        module, *_ = _module_with_functions()
+        table = fingerprint_module(module.defined_functions())
+        assert set(table) == {"add_like", "sub_like", "loop"}
+
+    def test_disjoint_functions_score_zero(self):
+        module = Module()
+        int_fn = make_binary_chain_function(module, "ints", ["add"])
+        # a function with completely different opcodes and types
+        other = module.create_function("floats", ty.function_type(ty.DOUBLE, [ty.DOUBLE]))
+        from repro.ir import IRBuilder
+        from repro.ir import values as vals
+        builder = IRBuilder(other.append_block("entry"))
+        builder.ret(builder.fadd(other.arguments[0], vals.const_float(1.0)))
+        score = similarity(Fingerprint.of(int_fn), Fingerprint.of(other))
+        assert score < 0.2
+
+
+class TestUpperBoundFormula:
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.sampled_from("abcdef"), st.integers(1, 20), max_size=6),
+           st.dictionaries(st.sampled_from("abcdef"), st.integers(1, 20), max_size=6))
+    def test_upper_bound_range_and_symmetry(self, freq1, freq2):
+        from collections import Counter
+
+        from repro.core.fingerprint import _upper_bound
+        a, b = Counter(freq1), Counter(freq2)
+        ub = _upper_bound(a, b)
+        assert 0.0 <= ub <= 0.5
+        assert ub == pytest.approx(_upper_bound(b, a))
+
+    def test_identical_multisets_give_exactly_half(self):
+        from collections import Counter
+
+        from repro.core.fingerprint import _upper_bound
+        counts = Counter({"add": 3, "mul": 2})
+        assert _upper_bound(counts, counts) == pytest.approx(0.5)
+
+
+class TestRanker:
+    def test_top_candidate_is_most_similar(self):
+        module, add_like, sub_like, loop = _module_with_functions()
+        clone = clone_function(module, add_like, "add_clone")
+        ranker = CandidateRanker(exploration_threshold=3)
+        ranker.add_functions(module.defined_functions())
+        candidates = ranker.rank_candidates("add_like")
+        assert candidates[0].function_name == "add_clone"
+        assert candidates[0].position == 1
+        assert candidates[0].score == pytest.approx(0.5)
+
+    def test_threshold_limits_candidates(self):
+        module, *_ = _module_with_functions()
+        ranker = CandidateRanker(exploration_threshold=1)
+        ranker.add_functions(module.defined_functions())
+        assert len(ranker.rank_candidates("add_like")) == 1
+        # limit=0 means oracle: every other function is ranked
+        assert len(ranker.rank_candidates("add_like", limit=0)) == 2
+
+    def test_remove_function_excludes_it(self):
+        module, *_ = _module_with_functions()
+        ranker = CandidateRanker(exploration_threshold=5)
+        ranker.add_functions(module.defined_functions())
+        ranker.remove_function("sub_like")
+        names = [c.function_name for c in ranker.rank_candidates("add_like")]
+        assert "sub_like" not in names
+        assert "sub_like" not in ranker
+
+    def test_positions_are_sequential(self):
+        module, *_ = _module_with_functions()
+        ranker = CandidateRanker(exploration_threshold=5)
+        ranker.add_functions(module.defined_functions())
+        positions = [c.position for c in ranker.rank_candidates("loop")]
+        assert positions == list(range(1, len(positions) + 1))
+
+    def test_unknown_function_returns_empty(self):
+        ranker = CandidateRanker()
+        assert ranker.rank_candidates("nope") == []
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateRanker(exploration_threshold=0)
+
+    def test_ranker_length_and_known_functions(self):
+        module, *_ = _module_with_functions()
+        ranker = CandidateRanker()
+        ranker.add_functions(module.defined_functions())
+        assert len(ranker) == 3
+        assert ranker.known_functions() == ["add_like", "loop", "sub_like"]

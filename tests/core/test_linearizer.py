@@ -1,0 +1,100 @@
+"""Tests for CFG linearization."""
+
+import pytest
+
+from repro.core import linearize, sequence_signature
+from repro.core.linearizer import LinearEntry, block_order
+from repro.ir import IRBuilder, Module
+from repro.ir import types as ty
+from repro.ir import values as vals
+
+from tests.helpers import make_accumulator_function, make_binary_chain_function
+
+
+def _diamond(module):
+    function = module.create_function("diamond", ty.function_type(ty.I32, [ty.I32]))
+    entry = function.append_block("entry")
+    left = function.append_block("left")
+    right = function.append_block("right")
+    join = function.append_block("join")
+    builder = IRBuilder(entry)
+    cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+    builder.cond_br(cond, left, right)
+    IRBuilder(left).br(join)
+    IRBuilder(right).br(join)
+    IRBuilder(join).ret(function.arguments[0])
+    return function
+
+
+class TestLinearize:
+    def test_every_block_contributes_label_plus_instructions(self):
+        module = Module()
+        function = _diamond(module)
+        entries = linearize(function)
+        labels = [e for e in entries if e.is_label]
+        instructions = [e for e in entries if e.is_instruction]
+        assert len(labels) == len(function.blocks)
+        assert len(instructions) == function.instruction_count()
+        assert len(entries) == len(labels) + len(instructions)
+
+    def test_instruction_order_preserved_within_blocks(self):
+        module = Module()
+        function = make_binary_chain_function(module, "chain", ["add", "sub", "mul"])
+        entries = linearize(function)
+        signature = sequence_signature(entries)
+        entry_ops = signature[signature.index("label") + 1:]
+        assert entry_ops[:4] == ["add", "sub", "mul", "mul"]
+
+    def test_label_precedes_its_instructions(self):
+        module = Module()
+        function = _diamond(module)
+        entries = linearize(function)
+        current_block = None
+        for entry in entries:
+            if entry.is_label:
+                current_block = entry.value
+            else:
+                assert entry.value.parent is current_block
+
+    def test_rpo_starts_with_entry_and_visits_all(self):
+        module = Module()
+        function = make_accumulator_function(module, "acc")
+        order = block_order(function, "rpo")
+        assert order[0] is function.entry_block
+        assert set(id(b) for b in order) == set(id(b) for b in function.blocks)
+
+    def test_traversals_are_permutations_of_each_other(self):
+        module = Module()
+        function = _diamond(module)
+        rpo = {id(b) for b in block_order(function, "rpo")}
+        layout = {id(b) for b in block_order(function, "layout")}
+        dfs = {id(b) for b in block_order(function, "dfs")}
+        assert rpo == layout == dfs
+
+    def test_unknown_traversal_rejected(self):
+        module = Module()
+        function = _diamond(module)
+        with pytest.raises(ValueError):
+            linearize(function, "zigzag")
+
+    def test_declaration_linearizes_to_empty(self):
+        module = Module()
+        declaration = module.create_function("ext", ty.function_type(ty.VOID, []),
+                                             linkage="external")
+        assert linearize(declaration) == []
+
+    def test_deterministic(self):
+        module = Module()
+        function = _diamond(module)
+        first = sequence_signature(linearize(function))
+        second = sequence_signature(linearize(function))
+        assert first == second
+
+    def test_entry_kinds(self):
+        module = Module()
+        function = _diamond(module)
+        entries = linearize(function)
+        assert entries[0].is_label and not entries[0].is_instruction
+        assert entries[1].is_instruction
+        assert entries[0].opcode_or_label() == "label"
+        assert entries[1].opcode_or_label() == "icmp"

@@ -1,0 +1,54 @@
+"""Tests for the text reporting helpers."""
+
+from repro.evaluation import (arithmetic_mean, ascii_table, bar_chart, cdf_table,
+                              format_percent, format_ratio, geometric_mean, text_bar,
+                              to_csv)
+
+
+class TestTables:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["a", 1], ["long-name", 123]],
+                            title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "long-name" in table
+
+    def test_ascii_table_handles_extra_columns(self):
+        table = ascii_table(["a"], [["x", "overflow"]])
+        assert "overflow" in table
+
+    def test_to_csv(self):
+        csv_text = to_csv(["a", "b"], [[1, 2], ["x,y", 3]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2].startswith('"x,y"')
+
+    def test_cdf_table(self):
+        rows = cdf_table([1, 1, 1, 2, 5], max_position=5)
+        assert rows[0] == (1, 60.0)
+        assert rows[1] == (2, 80.0)
+        assert rows[4] == (5, 100.0)
+        assert cdf_table([], max_position=3) == [(1, 0.0), (2, 0.0), (3, 0.0)]
+
+
+class TestFormatting:
+    def test_percent_and_ratio(self):
+        assert format_percent(6.25) == "6.2%"
+        assert format_ratio(1.5) == "1.50x"
+
+    def test_text_bar_proportional(self):
+        assert len(text_bar(5, 10, width=10)) == 5
+        assert text_bar(0, 10) == ""
+        assert text_bar(1, 0) == ""
+
+    def test_bar_chart_contains_labels_and_bars(self):
+        chart = bar_chart(["alpha", "b"], [10.0, 5.0], title="t", unit="%")
+        assert "alpha" in chart and "t" in chart
+        assert chart.count("#") > 0
+
+    def test_means(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([1, 100]) == 10.0
+        assert geometric_mean([]) == 0.0

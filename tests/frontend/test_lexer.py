@@ -1,0 +1,70 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexerError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo; return bar;")
+        assert tokens[0].kind == "keyword" and tokens[0].text == "int"
+        assert tokens[1].kind == "ident" and tokens[1].text == "foo"
+        assert tokens[3].is_keyword("return")
+
+    def test_integer_literals(self):
+        tokens = tokenize("42 0x1F 7L")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 31
+        assert tokens[2].value == 7
+
+    def test_float_literals(self):
+        tokens = tokenize("3.25 1e3 2.5f")
+        assert tokens[0].kind == "float" and tokens[0].value == 3.25
+        assert tokens[1].kind == "float" and tokens[1].value == 1000.0
+        assert tokens[2].kind == "float" and tokens[2].value == 2.5
+
+    def test_string_and_char_literals(self):
+        tokens = tokenize('"hi\\n" \'a\'')
+        assert tokens[0].kind == "string" and tokens[0].value == "hi\n"
+        assert tokens[1].kind == "char" and tokens[1].value == ord("a")
+
+    def test_operators_maximal_munch(self):
+        assert texts("a->b <<= 1 && c >= d") == ["a", "->", "b", "<<=", "1", "&&",
+                                                 "c", ">=", "d"]
+
+    def test_comments_and_preprocessor_skipped(self):
+        source = """
+        #include <stdio.h>
+        // line comment
+        /* block
+           comment */
+        int x;
+        """
+        assert texts(source) == ["int", "x", ";"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("int\n  foo;")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"not closed')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int a = 3 @ 4;")
+
+    def test_eof_token_always_last(self):
+        assert kinds("")[-1] == "eof"
+        assert kinds("int x;")[-1] == "eof"

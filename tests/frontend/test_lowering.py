@@ -1,0 +1,192 @@
+"""Tests for mini-C -> IR lowering, validated through the interpreter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.lowering import LoweringError
+from repro.ir import types as ty
+from repro.ir import verify_or_raise
+from repro.interp import Interpreter, standard_externals
+
+
+def run(source, entry, args, externals=None):
+    module = compile_source(source)
+    verify_or_raise(module)
+    interp = Interpreter(module, externals or standard_externals())
+    return interp.run(entry, args)
+
+
+class TestBasics:
+    def test_arithmetic_and_return(self):
+        assert run("int f(int a, int b) { return a * b + 2; }", "f", [3, 4]) == 14
+
+    def test_no_phis_are_emitted(self):
+        module = compile_source(
+            "int f(int a) { int r; if (a > 0) r = 1; else r = 2; return r; }")
+        assert not any(inst.is_phi for f in module.defined_functions()
+                       for inst in f.instructions())
+
+    def test_if_else(self):
+        source = "int f(int a) { if (a > 10) return 1; else return 0; }"
+        assert run(source, "f", [11]) == 1
+        assert run(source, "f", [3]) == 0
+
+    def test_while_loop(self):
+        source = "int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"
+        assert run(source, "f", [5]) == 15
+
+    def test_for_loop_with_break_continue(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) {
+            if (i == 3) continue;
+            if (i == 7) break;
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        assert run(source, "f", [100]) == 0 + 1 + 2 + 4 + 5 + 6
+
+    def test_nested_calls_and_recursion(self):
+        source = """
+        int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+        int main(int n) { return fib(n); }
+        """
+        assert run(source, "main", [10]) == 55
+
+    def test_logical_operators_short_circuit(self):
+        source = """
+        extern int boom();
+        int f(int a) { if (a > 0 && boom() > 0) return 1; return 0; }
+        """
+        # boom() must never be called when a <= 0
+        externals = standard_externals()
+        calls = []
+        externals["boom"] = lambda i, args: calls.append(1) or 1
+        assert run(source, "f", [0], externals) == 0
+        assert calls == []
+        assert run(source, "f", [1], externals) == 1
+        assert calls == [1]
+
+    def test_ternary_expression(self):
+        assert run("int f(int a) { return a > 0 ? a : -a; }", "f", [-7]) == 7
+
+    def test_unary_operators(self):
+        assert run("int f(int a) { return !a; }", "f", [0]) == 1
+        assert run("int f(int a) { return ~a; }", "f", [0]) == 0xFFFFFFFF
+        assert run("int f(int a) { return -a; }", "f", [5]) == (-5) & 0xFFFFFFFF
+
+    def test_compound_assignment_and_increment(self):
+        source = "int f(int a) { int x = a; x += 3; x *= 2; x++; return x; }"
+        assert run(source, "f", [4]) == 15
+
+
+class TestTypesAndMemory:
+    def test_float_double_conversions(self):
+        source = "double f(float x, int n) { return x * n + 0.5; }"
+        assert run(source, "f", [1.5, 4]) == pytest.approx(6.5)
+
+    def test_pointer_argument_and_deref(self):
+        source = "void store(int *p, int v) { *p = v * 2; } "
+        module = compile_source(source)
+        verify_or_raise(module)
+        interp = Interpreter(module, standard_externals())
+        address = interp.memory.allocate(4)
+        interp.run("store", [address, 21])
+        assert interp.memory.load(address, ty.I32) == 42
+
+    def test_array_indexing(self):
+        source = """
+        int f(int n) {
+          int buf[8];
+          for (int i = 0; i < 8; i++) buf[i] = i * i;
+          return buf[n];
+        }
+        """
+        assert run(source, "f", [5]) == 25
+
+    def test_struct_member_access(self):
+        source = """
+        struct pair { int a; int b; };
+        int f(int x) {
+          struct pair p;
+          p.a = x; p.b = x * 2;
+          return p.a + p.b;
+        }
+        """
+        assert run(source, "f", [10]) == 30
+
+    def test_struct_pointer_arrow(self):
+        source = """
+        struct pair { int a; int b; };
+        int get(struct pair *p) { return p->a - p->b; }
+        int f(int x) { struct pair p; p.a = x; p.b = 3; return get(&p); }
+        """
+        assert run(source, "f", [10]) == 7
+
+    def test_pointer_arithmetic(self):
+        source = """
+        int f(int *base, int n) { int *p = base + n; return *p; }
+        """
+        module = compile_source(source)
+        interp = Interpreter(module, standard_externals())
+        base = interp.memory.allocate(40)
+        interp.memory.store(base + 12, ty.I32, 77)
+        assert interp.run("f", [base, 3]) == 77
+
+    def test_sizeof(self):
+        source = "long f() { return sizeof(double) + sizeof(int); }"
+        assert run(source, "f", []) == 12
+
+    def test_global_variable(self):
+        source = "int counter = 5; int f(int x) { counter = counter + x; return counter; }"
+        module = compile_source(source)
+        interp = Interpreter(module, standard_externals())
+        assert interp.run("f", [3]) == 8
+        assert interp.run("f", [3]) == 11  # global persists across calls
+
+
+class TestLinkageAndErrors:
+    def test_internalize_marks_functions_internal_except_main(self):
+        module = compile_source("int helper(int a) { return a; } int main() { return helper(1); }")
+        assert module.get_function("helper").linkage == "internal"
+        assert module.get_function("main").linkage == "external"
+
+    def test_extern_functions_are_declarations(self):
+        module = compile_source("extern int ext(int a); int f(int a) { return ext(a); }")
+        assert module.get_function("ext").is_declaration
+
+    def test_undeclared_variable_raises(self):
+        with pytest.raises(LoweringError):
+            compile_source("int f() { return mystery; }")
+
+    def test_unknown_struct_member_raises(self):
+        with pytest.raises(LoweringError):
+            compile_source("struct p { int a; }; int f(struct p *x) { return x->b; }")
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(LoweringError):
+            compile_source("int f() { break; return 0; }")
+
+    def test_verifier_clean_for_all_case_study_like_code(self):
+        source = """
+        struct item { int key; double weight; struct item *next; };
+        extern struct item *alloc_item(long size);
+        struct item *push(struct item *head, int key, double weight) {
+            struct item *node = alloc_item(sizeof(struct item));
+            node->key = key;
+            node->weight = weight;
+            node->next = head;
+            return node;
+        }
+        double total(struct item *head) {
+            double sum = 0.0;
+            while (head != NULL) { sum = sum + head->weight; head = head->next; }
+            return sum;
+        }
+        """
+        module = compile_source(source)
+        verify_or_raise(module)
+        assert module.get_function("push").instruction_count() > 5

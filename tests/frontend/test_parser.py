@@ -1,0 +1,151 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import LexerError
+from repro.frontend.parser import ParseError, parse
+
+
+class TestDeclarations:
+    def test_function_with_parameters(self):
+        program = parse("int add(int a, int b) { return a + b; }")
+        assert len(program.functions) == 1
+        function = program.functions[0]
+        assert function.name == "add"
+        assert [p.name for p in function.parameters] == ["a", "b"]
+        assert function.return_type.base == "int"
+
+    def test_extern_declaration(self):
+        program = parse("extern double sqrt(double x);")
+        assert program.functions[0].body is None
+
+    def test_void_parameter_list(self):
+        program = parse("int f(void) { return 1; }")
+        assert program.functions[0].parameters == []
+
+    def test_struct_declaration(self):
+        program = parse("struct point { int x; int y; };")
+        struct = program.structs[0]
+        assert struct.name == "point"
+        assert [f.name for f in struct.fields] == ["x", "y"]
+
+    def test_pointer_and_struct_types(self):
+        program = parse("struct node { struct node *next; int v; };"
+                        "struct node *head(struct node *n) { return n; }")
+        function = program.functions[0]
+        assert function.return_type.base == "struct node"
+        assert function.return_type.pointer_depth == 1
+
+    def test_global_variable(self):
+        program = parse("int counter = 3; double table[8];")
+        assert program.globals[0].name == "counter"
+        assert isinstance(program.globals[0].initializer, ast.IntLiteral)
+        assert program.globals[1].var_type.array_length == 8
+
+    def test_unsigned_and_long(self):
+        program = parse("unsigned int f(long x) { return x; }")
+        assert program.functions[0].parameters[0].param_type.base == "long"
+
+
+class TestStatements:
+    def _body(self, source):
+        return parse(f"int f(int a, int b) {{ {source} }}").functions[0].body.statements
+
+    def test_if_else(self):
+        statements = self._body("if (a > b) return a; else return b;")
+        assert isinstance(statements[0], ast.IfStmt)
+        assert statements[0].else_branch is not None
+
+    def test_while_and_for(self):
+        statements = self._body("while (a) a = a - 1; for (int i = 0; i < b; i++) a = a + i;")
+        assert isinstance(statements[0], ast.WhileStmt)
+        assert isinstance(statements[1], ast.ForStmt)
+        assert isinstance(statements[1].init, ast.VarDecl)
+
+    def test_break_continue(self):
+        statements = self._body("while (1) { if (a) break; continue; }")
+        body = statements[0].body.statements
+        assert isinstance(body[0].then_branch, ast.BreakStmt)
+        assert isinstance(body[1], ast.ContinueStmt)
+
+    def test_local_declaration_with_array(self):
+        statements = self._body("int buffer[16]; buffer[0] = a;")
+        assert isinstance(statements[0], ast.VarDecl)
+        assert statements[0].var_type.array_length == 16
+
+    def test_return_void(self):
+        program = parse("void f() { return; }")
+        assert program.functions[0].body.statements[0].value is None
+
+
+class TestExpressions:
+    def _expr(self, source):
+        program = parse(f"int f(int a, int b) {{ return {source}; }}")
+        return program.functions[0].body.statements[0].value
+
+    def test_precedence(self):
+        expr = self._expr("a + b * 2")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_comparison_and_logical(self):
+        expr = self._expr("a < b && b < 10")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_unary_and_cast(self):
+        expr = self._expr("-(int)b")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+        assert isinstance(expr.operand, ast.CastExpr)
+
+    def test_ternary(self):
+        expr = self._expr("a ? b : 0")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_call_with_arguments(self):
+        expr = self._expr("max(a, b + 1)")
+        assert isinstance(expr, ast.CallExpr)
+        assert expr.callee == "max"
+        assert len(expr.args) == 2
+
+    def test_member_and_index(self):
+        program = parse("""
+        struct point { int x; int y; };
+        int f(struct point *p, int *v) { return p->x + v[2]; }
+        """)
+        expr = program.functions[0].body.statements[0].value
+        assert isinstance(expr.left, ast.MemberExpr) and expr.left.through_pointer
+        assert isinstance(expr.right, ast.IndexExpr)
+
+    def test_assignment_and_compound_assignment(self):
+        statements = parse("int f(int a) { a = 3; a += 2; return a; }").functions[0].body.statements
+        assert isinstance(statements[0].expression, ast.Assignment)
+        assert statements[1].expression.op == "+="
+
+    def test_sizeof(self):
+        expr = self._expr("sizeof(double)")
+        assert isinstance(expr, ast.SizeofExpr)
+
+    def test_increment_forms(self):
+        statements = parse("int f(int a) { a++; ++a; return a; }").functions[0].body.statements
+        assert statements[0].expression.postfix
+        assert not statements[1].expression.postfix
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 }")
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return (1; }")
+
+    def test_unknown_character_reported_by_lexer(self):
+        with pytest.raises(LexerError):
+            parse("int f() { @ }")
+
+    def test_incomplete_expression(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 + ; }")

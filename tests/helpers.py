@@ -1,0 +1,130 @@
+"""Shared helpers for the test suite: small IR factories and semantic
+comparison utilities built on the interpreter."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import IRBuilder, Module, verify_or_raise
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.ir.function import Function
+from repro.interp import Interpreter, standard_externals
+
+
+def make_binary_chain_function(module: Module, name: str, opcodes: Sequence[str],
+                               constant: int = 3, linkage: str = "internal") -> Function:
+    """int f(int a, int b): a chain of binary ops ending in a compare-guarded
+    return (two exit blocks)."""
+    function = module.create_function(
+        name, ty.function_type(ty.I32, [ty.I32, ty.I32]),
+        linkage=linkage, arg_names=["a", "b"])
+    entry = function.append_block("entry")
+    builder = IRBuilder(entry)
+    value = function.arguments[0]
+    for opcode in opcodes:
+        value = builder.binary(opcode, value, function.arguments[1])
+    value = builder.mul(value, vals.const_int(constant))
+    positive = function.append_block("positive")
+    negative = function.append_block("negative")
+    condition = builder.icmp("sgt", value, vals.const_int(0))
+    builder.cond_br(condition, positive, negative)
+    IRBuilder(positive).ret(value)
+    negative_builder = IRBuilder(negative)
+    negated = negative_builder.sub(vals.const_int(0), value)
+    negative_builder.ret(negated)
+    return function
+
+
+def make_accumulator_function(module: Module, name: str, iterations_param: bool = True,
+                              step_opcode: str = "add") -> Function:
+    """int f(int n): a counted loop accumulating into a memory slot."""
+    function = module.create_function(
+        name, ty.function_type(ty.I32, [ty.I32]), arg_names=["n"])
+    entry = function.append_block("entry")
+    builder = IRBuilder(entry)
+    total_slot = builder.alloca(ty.I32, "total")
+    index_slot = builder.alloca(ty.I32, "i")
+    builder.store(vals.const_int(0), total_slot)
+    builder.store(vals.const_int(0), index_slot)
+    cond = function.append_block("cond")
+    body = function.append_block("body")
+    exit_block = function.append_block("exit")
+    builder.br(cond)
+
+    cond_builder = IRBuilder(cond)
+    index = cond_builder.load(index_slot)
+    in_range = cond_builder.icmp("slt", index, function.arguments[0])
+    cond_builder.cond_br(in_range, body, exit_block)
+
+    body_builder = IRBuilder(body)
+    index_value = body_builder.load(index_slot)
+    total_value = body_builder.load(total_slot)
+    stepped = body_builder.binary(step_opcode, total_value, index_value)
+    body_builder.store(stepped, total_slot)
+    next_index = body_builder.add(index_value, vals.const_int(1))
+    body_builder.store(next_index, index_slot)
+    body_builder.br(cond)
+
+    exit_builder = IRBuilder(exit_block)
+    exit_builder.ret(exit_builder.load(total_slot))
+    return function
+
+
+def make_caller(module: Module, name: str, callees: Sequence[Function],
+                linkage: str = "external") -> Function:
+    """int caller(int x): calls each callee once (with x and constants) and
+    sums the integer results."""
+    function = module.create_function(
+        name, ty.function_type(ty.I32, [ty.I32]), linkage=linkage, arg_names=["x"])
+    entry = function.append_block("entry")
+    builder = IRBuilder(entry)
+    total: vals.Value = function.arguments[0]
+    for callee in callees:
+        args: List[vals.Value] = []
+        for want in callee.function_type.param_types:
+            if want == ty.I32:
+                args.append(total if total.type == ty.I32 else vals.const_int(2))
+            elif want.is_integer:
+                args.append(vals.ConstantInt(want, 3))
+            elif want.is_float:
+                args.append(vals.ConstantFloat(want, 1.5))
+            elif want.is_pointer:
+                args.append(vals.ConstantNull(want))
+            else:
+                args.append(vals.undef(want))
+        call = builder.call(callee, args)
+        if call.type == ty.I32:
+            total = builder.add(total, call)
+    builder.ret(total)
+    return function
+
+
+def run_function(module: Module, name: str, args: Sequence[object],
+                 externals: Optional[Dict] = None) -> object:
+    interpreter = Interpreter(module, externals or standard_externals())
+    return interpreter.run(name, args)
+
+
+def results_match(reference, candidate, bits: int = 32) -> bool:
+    """Compare interpreter results, treating integers modulo 2**bits."""
+    if isinstance(reference, float) or isinstance(candidate, float):
+        if reference is None or candidate is None:
+            return reference == candidate
+        return abs(float(reference) - float(candidate)) < 1e-9
+    if reference is None or candidate is None:
+        return reference == candidate
+    mask = (1 << bits) - 1
+    return (int(reference) & mask) == (int(candidate) & mask)
+
+
+def assert_semantically_equivalent(module_before: Module, module_after: Module,
+                                   entry: str, inputs: Sequence[Sequence[object]],
+                                   externals: Optional[Dict] = None) -> None:
+    """Run ``entry`` on both modules for every input vector and require
+    identical results."""
+    for args in inputs:
+        reference = run_function(module_before, entry, args, externals)
+        candidate = run_function(module_after, entry, args, externals)
+        assert results_match(reference, candidate), (
+            f"{entry}{tuple(args)}: expected {reference!r}, got {candidate!r}")

@@ -1,0 +1,78 @@
+"""Tests for the interpreter's byte-addressable memory model."""
+
+import pytest
+
+from repro.interp.memory import Memory, MemoryError_
+from repro.ir import types as ty
+
+
+class TestAllocation:
+    def test_allocations_are_disjoint(self):
+        memory = Memory()
+        a = memory.allocate(16)
+        b = memory.allocate(16)
+        assert a != b
+        assert abs(a - b) >= 16
+
+    def test_zero_initialised(self):
+        memory = Memory()
+        address = memory.allocate(8)
+        assert memory.read_bytes(address, 8) == b"\x00" * 8
+
+    def test_allocate_type_uses_type_size(self):
+        memory = Memory()
+        address = memory.allocate_type(ty.struct([ty.I32, ty.DOUBLE], name="s"))
+        assert memory.allocation_size(address) == 12
+
+    def test_null_access_rejected(self):
+        memory = Memory()
+        with pytest.raises(MemoryError_):
+            memory.read_bytes(0, 4)
+        with pytest.raises(MemoryError_):
+            memory.write_bytes(0, b"\x01")
+
+
+class TestTypedAccess:
+    def test_int_roundtrip(self):
+        memory = Memory()
+        address = memory.allocate(8)
+        memory.store(address, ty.I32, 0xDEADBEEF)
+        assert memory.load(address, ty.I32) == 0xDEADBEEF
+
+    def test_int_wraps_to_width(self):
+        memory = Memory()
+        address = memory.allocate(1)
+        memory.store(address, ty.I8, 300)
+        assert memory.load(address, ty.I8) == 300 & 0xFF
+
+    def test_float_roundtrip(self):
+        memory = Memory()
+        address = memory.allocate(8)
+        memory.store(address, ty.DOUBLE, 3.25)
+        assert memory.load(address, ty.DOUBLE) == 3.25
+        memory.store(address, ty.FLOAT, 1.5)
+        assert memory.load(address, ty.FLOAT) == 1.5
+
+    def test_pointer_roundtrip(self):
+        memory = Memory()
+        address = memory.allocate(8)
+        target = memory.allocate(4)
+        memory.store(address, ty.pointer(ty.I32), target)
+        assert memory.load(address, ty.pointer(ty.I32)) == target
+
+    def test_adjacent_fields_do_not_clobber(self):
+        memory = Memory()
+        base = memory.allocate(12)
+        memory.store(base, ty.I32, 7)
+        memory.store(base + 4, ty.I32, 9)
+        memory.store(base + 8, ty.I32, 11)
+        assert memory.load(base, ty.I32) == 7
+        assert memory.load(base + 4, ty.I32) == 9
+        assert memory.load(base + 8, ty.I32) == 11
+
+    def test_bit_level_aliasing_between_int_and_float(self):
+        memory = Memory()
+        address = memory.allocate(4)
+        memory.store(address, ty.FLOAT, 1.0)
+        as_int = memory.load(address, ty.I32)
+        assert as_int == 0x3F800000  # IEEE-754 encoding of 1.0f

@@ -1,0 +1,133 @@
+"""Tests for the IRBuilder and the textual printer."""
+
+from repro.ir import IRBuilder, Module, function_to_str, module_to_str
+from repro.ir import types as ty
+from repro.ir import values as vals
+
+
+def _fresh_function(return_type=ty.I32, params=(ty.I32, ty.I32)):
+    module = Module("m")
+    function = module.create_function("f", ty.function_type(return_type, list(params)),
+                                      arg_names=["a", "b"][:len(params)])
+    block = function.append_block("entry")
+    return module, function, IRBuilder(block)
+
+
+class TestBuilder:
+    def test_arithmetic_helpers(self):
+        _, function, builder = _fresh_function()
+        a, b = function.arguments
+        assert builder.add(a, b).opcode == "add"
+        assert builder.sub(a, b).opcode == "sub"
+        assert builder.mul(a, b).opcode == "mul"
+        assert builder.sdiv(a, b).opcode == "sdiv"
+
+    def test_float_helpers(self):
+        _, function, builder = _fresh_function(ty.DOUBLE, (ty.DOUBLE, ty.DOUBLE))
+        a, b = function.arguments
+        for name in ("fadd", "fsub", "fmul", "fdiv"):
+            assert getattr(builder, name)(a, b).opcode == name
+
+    def test_memory_helpers(self):
+        _, function, builder = _fresh_function()
+        slot = builder.alloca(ty.I32, "x")
+        builder.store(function.arguments[0], slot)
+        load = builder.load(slot)
+        assert load.type == ty.I32
+        assert slot.type == ty.pointer(ty.I32)
+
+    def test_control_flow_helpers(self):
+        module, function, builder = _fresh_function()
+        then_block = function.append_block("then")
+        else_block = function.append_block("else")
+        cond = builder.icmp("eq", function.arguments[0], function.arguments[1])
+        builder.cond_br(cond, then_block, else_block)
+        IRBuilder(then_block).ret(vals.const_int(1))
+        IRBuilder(else_block).ret(vals.const_int(0))
+        assert function.entry_block.terminator.opcode == "br"
+
+    def test_cast_helpers(self):
+        _, function, builder = _fresh_function()
+        a = function.arguments[0]
+        assert builder.sext(a, ty.I64).type == ty.I64
+        assert builder.trunc(a, ty.I8).type == ty.I8
+        assert builder.sitofp(a, ty.DOUBLE).type == ty.DOUBLE
+        assert builder.bitcast(builder.alloca(ty.I32), ty.pointer(ty.FLOAT)).type == \
+            ty.pointer(ty.FLOAT)
+
+    def test_position_before(self):
+        _, function, builder = _fresh_function()
+        a, b = function.arguments
+        first = builder.add(a, b)
+        ret = builder.ret(first)
+        builder.position_before(ret)
+        inserted = builder.mul(a, b)
+        block = function.entry_block
+        assert block.instructions.index(inserted) == 1
+        assert block.instructions.index(ret) == 2
+
+    def test_insert_requires_block(self):
+        builder = IRBuilder()
+        try:
+            builder.ret_void()
+            assert False, "expected RuntimeError"
+        except RuntimeError:
+            pass
+
+    def test_switch_and_phi(self):
+        module, function, builder = _fresh_function()
+        other = function.append_block("other")
+        done = function.append_block("done")
+        builder.switch(function.arguments[0], other, [(vals.const_int(1), done)])
+        phi_builder = IRBuilder(done)
+        phi = phi_builder.phi(ty.I32, "p")
+        phi.add_incoming(vals.const_int(3), function.entry_block)
+        phi_builder.ret(phi)
+        IRBuilder(other).ret(vals.const_int(0))
+        assert function.entry_block.terminator.opcode == "switch"
+
+
+class TestPrinter:
+    def test_function_str_contains_header_and_instructions(self):
+        _, function, builder = _fresh_function()
+        a, b = function.arguments
+        builder.ret(builder.add(a, b))
+        text = function_to_str(function)
+        assert "define internal i32 @f(i32 %a, i32 %b)" in text
+        assert "add i32 %a, i32 %b" in text
+        assert text.strip().endswith("}")
+
+    def test_declaration_printed_as_declare(self):
+        module = Module()
+        module.create_function("ext", ty.function_type(ty.VOID, [ty.I32]),
+                               linkage="external")
+        assert "declare void @ext" in module_to_str(module)
+
+    def test_unnamed_values_get_stable_numbers(self):
+        _, function, builder = _fresh_function()
+        a, b = function.arguments
+        builder.ret(builder.add(builder.add(a, b), b))
+        text1 = function_to_str(function)
+        text2 = function_to_str(function)
+        assert text1 == text2
+
+    def test_module_str_includes_globals(self):
+        module = Module("g")
+        module.add_global("counter", ty.I64, vals.ConstantInt(ty.I64, 3))
+        text = module_to_str(module)
+        assert "@counter" in text
+
+    def test_constant_rendering(self):
+        _, function, builder = _fresh_function(ty.DOUBLE, (ty.DOUBLE,))
+        builder.ret(builder.fadd(function.arguments[0], vals.const_float(2.5)))
+        text = function_to_str(function)
+        assert "2.5" in text
+
+    def test_branch_and_label_rendering(self):
+        module, function, builder = _fresh_function()
+        target = function.append_block("target")
+        builder.br(target)
+        IRBuilder(target).ret(vals.const_int(0))
+        text = function_to_str(function)
+        assert "br label %target" in text
+        assert "target:" in text

@@ -1,0 +1,221 @@
+"""Tests for the verifier, CFG utilities and call graph."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, VerificationError, verify_function, verify_or_raise
+from repro.ir import cfg
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.ir.callgraph import CallGraph
+from repro.ir.instructions import Branch, Instruction, Return, Store
+
+
+def _diamond_function(module=None):
+    """entry -> (left | right) -> join -> exit structure."""
+    module = module or Module()
+    function = module.create_function("diamond", ty.function_type(ty.I32, [ty.I32]),
+                                      arg_names=["x"])
+    entry = function.append_block("entry")
+    left = function.append_block("left")
+    right = function.append_block("right")
+    join = function.append_block("join")
+    builder = IRBuilder(entry)
+    slot = builder.alloca(ty.I32, "slot")
+    cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+    builder.cond_br(cond, left, right)
+    lb = IRBuilder(left)
+    lb.store(vals.const_int(1), slot)
+    lb.br(join)
+    rb = IRBuilder(right)
+    rb.store(vals.const_int(2), slot)
+    rb.br(join)
+    jb = IRBuilder(join)
+    jb.ret(jb.load(slot))
+    return module, function
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        _, function = _diamond_function()
+        assert verify_function(function) == []
+
+    def test_missing_terminator_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, []))
+        block = function.append_block("entry")
+        IRBuilder(block).add(vals.const_int(1), vals.const_int(2))
+        errors = verify_function(function)
+        assert any("terminator" in e for e in errors)
+
+    def test_empty_block_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        function.append_block("entry")
+        assert any("empty" in e for e in verify_function(function))
+
+    def test_return_type_mismatch_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I64, []))
+        IRBuilder(function.append_block("entry")).ret(vals.const_int(1, 32))
+        assert any("return type" in e for e in verify_function(function))
+
+    def test_void_function_returning_value_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        IRBuilder(function.append_block("entry")).ret(vals.const_int(1))
+        assert any("void" in e for e in verify_function(function))
+
+    def test_binary_type_mismatch_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        block = function.append_block("entry")
+        bad = Instruction("add", ty.I32, [vals.const_int(1, 32), vals.const_int(1, 64)])
+        block.append(bad)
+        IRBuilder(block).ret_void()
+        assert any("binary operand" in e for e in verify_function(function))
+
+    def test_store_pointee_mismatch_detected(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        block = function.append_block("entry")
+        builder = IRBuilder(block)
+        slot = builder.alloca(ty.I64)
+        block.append(Store(vals.const_int(1, 8), slot))
+        builder.position_at_end(block)
+        builder.ret_void()
+        assert any("stored type" in e for e in verify_function(function))
+
+    def test_cross_function_operand_detected(self):
+        module = Module()
+        f = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        g = module.create_function("g", ty.function_type(ty.I32, [ty.I32]))
+        IRBuilder(f.append_block("entry")).ret(f.arguments[0])
+        IRBuilder(g.append_block("entry")).ret(f.arguments[0])  # wrong function's arg
+        assert any("another function" in e for e in verify_function(g))
+
+    def test_call_argument_mismatch_detected(self):
+        module = Module()
+        callee = module.create_function("callee", ty.function_type(ty.I32, [ty.I64]))
+        caller = module.create_function("caller", ty.function_type(ty.I32, []))
+        builder = IRBuilder(caller.append_block("entry"))
+        call = builder.call(callee, [vals.const_int(1, 32)])
+        builder.ret(call)
+        assert any("argument type" in e for e in verify_function(caller))
+
+    def test_branch_condition_must_be_i1(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        entry = function.append_block("entry")
+        other = function.append_block("other")
+        entry.append(Branch(vals.const_int(1, 32), other, other))
+        IRBuilder(other).ret_void()
+        assert any("i1" in e for e in verify_function(function))
+
+    def test_verify_or_raise(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, []))
+        function.append_block("entry")
+        with pytest.raises(VerificationError):
+            verify_or_raise(module)
+        ok_module, _ = _diamond_function()
+        verify_or_raise(ok_module)  # should not raise
+
+
+class TestCFG:
+    def test_reverse_post_order_starts_at_entry(self):
+        _, function = _diamond_function()
+        rpo = cfg.reverse_post_order(function)
+        assert rpo[0] is function.entry_block
+        assert len(rpo) == 4
+
+    def test_rpo_visits_all_blocks_even_unreachable(self):
+        module, function = _diamond_function()
+        orphan = function.append_block("orphan")
+        IRBuilder(orphan).ret(vals.const_int(9))
+        rpo = cfg.reverse_post_order(function)
+        assert orphan in rpo
+
+    def test_rpo_respects_canonical_successor_order(self):
+        _, function = _diamond_function()
+        rpo = cfg.reverse_post_order(function)
+        names = [b.name for b in rpo]
+        assert names.index("left") < names.index("right")
+
+    def test_post_order_is_reverse_of_rpo_for_reachable(self):
+        _, function = _diamond_function()
+        po = cfg.post_order(function)
+        rpo = cfg.reverse_post_order(function)
+        assert po == list(reversed(rpo))
+
+    def test_dominators(self):
+        _, function = _diamond_function()
+        dominators = cfg.compute_dominators(function)
+        blocks = {b.name: b for b in function.blocks}
+        assert blocks["entry"] in dominators[blocks["join"]]
+        assert blocks["left"] not in dominators[blocks["join"]]
+        assert dominators[blocks["entry"]] == {blocks["entry"]}
+
+    def test_edges(self):
+        _, function = _diamond_function()
+        edge_names = {(a.name, b.name) for a, b in cfg.edges(function)}
+        assert ("entry", "left") in edge_names
+        assert ("left", "join") in edge_names
+        assert ("entry", "join") not in edge_names
+
+    def test_is_reachable(self):
+        module, function = _diamond_function()
+        orphan = function.append_block("orphan")
+        IRBuilder(orphan).ret(vals.const_int(9))
+        assert cfg.is_reachable(function, function.entry_block)
+        assert not cfg.is_reachable(function, orphan)
+
+
+class TestCallGraph:
+    def _module_with_calls(self):
+        module = Module()
+        leaf = module.create_function("leaf", ty.function_type(ty.I32, [ty.I32]))
+        IRBuilder(leaf.append_block("entry")).ret(leaf.arguments[0])
+        mid = module.create_function("mid", ty.function_type(ty.I32, [ty.I32]))
+        builder = IRBuilder(mid.append_block("entry"))
+        builder.ret(builder.call(leaf, [mid.arguments[0]]))
+        top = module.create_function("top", ty.function_type(ty.I32, [ty.I32]),
+                                     linkage="external")
+        builder = IRBuilder(top.append_block("entry"))
+        a = builder.call(mid, [top.arguments[0]])
+        b = builder.call(leaf, [a])
+        builder.ret(b)
+        return module, leaf, mid, top
+
+    def test_edges_and_call_sites(self):
+        module, leaf, mid, top = self._module_with_calls()
+        graph = CallGraph(module)
+        assert leaf in graph.callees_of(mid)
+        assert mid in graph.callers_of(leaf)
+        assert len(graph.direct_call_sites(leaf)) == 2
+        assert graph.is_leaf(leaf)
+        assert not graph.is_leaf(top)
+
+    def test_address_taken_detection(self):
+        module, leaf, mid, top = self._module_with_calls()
+        # store the address of leaf somewhere
+        user = module.create_function("user", ty.function_type(ty.VOID, []))
+        builder = IRBuilder(user.append_block("entry"))
+        slot = builder.alloca(leaf.type)
+        builder.store(leaf, slot)
+        builder.ret_void()
+        graph = CallGraph(module)
+        assert graph.is_address_taken(leaf)
+        assert leaf.address_taken
+        assert not graph.is_address_taken(mid)
+
+    def test_dead_function_detection(self):
+        module = Module()
+        dead = module.create_function("dead", ty.function_type(ty.VOID, []))
+        IRBuilder(dead.append_block("entry")).ret_void()
+        graph = CallGraph(module)
+        assert graph.is_dead(dead)
+        external = module.create_function("ext", ty.function_type(ty.VOID, []),
+                                          linkage="external")
+        IRBuilder(external.append_block("entry")).ret_void()
+        graph.rebuild()
+        assert not graph.is_dead(external)

@@ -1,0 +1,203 @@
+"""Tests for the generic IR passes (DCE, SimplifyCFG, reg2mem, manager)."""
+
+from repro.ir import IRBuilder, Module, verify_or_raise
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.interp import Interpreter
+from repro.passes import (DeadCodeElimination, DeadFunctionElimination, Pass,
+                          PassManager, RegToMem, SimplifyCFG, demote_phis)
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_pure_instruction(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        builder = IRBuilder(function.append_block("entry"))
+        builder.add(function.arguments[0], vals.const_int(1))  # dead
+        live = builder.mul(function.arguments[0], vals.const_int(2))
+        builder.ret(live)
+        assert DeadCodeElimination().run_on_function(function)
+        opcodes = [i.opcode for i in function.instructions()]
+        assert "add" not in opcodes and "mul" in opcodes
+
+    def test_keeps_side_effecting_instructions(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, [ty.I32]))
+        builder = IRBuilder(function.append_block("entry"))
+        slot = builder.alloca(ty.I32)
+        builder.store(function.arguments[0], slot)
+        builder.ret_void()
+        DeadCodeElimination().run_on_function(function)
+        opcodes = [i.opcode for i in function.instructions()]
+        assert "store" in opcodes
+
+    def test_cascading_removal(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        builder = IRBuilder(function.append_block("entry"))
+        a = builder.add(function.arguments[0], vals.const_int(1))
+        builder.mul(a, vals.const_int(2))  # dead, and makes `a` dead too
+        builder.ret(function.arguments[0])
+        DeadCodeElimination().run_on_function(function)
+        assert function.instruction_count() == 1
+
+    def test_reports_no_change(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        builder = IRBuilder(function.append_block("entry"))
+        builder.ret(function.arguments[0])
+        assert not DeadCodeElimination().run_on_function(function)
+
+
+class TestDeadFunctionElimination:
+    def test_removes_uncalled_internal_function(self):
+        module = Module()
+        dead = module.create_function("dead", ty.function_type(ty.VOID, []))
+        IRBuilder(dead.append_block("entry")).ret_void()
+        kept = module.create_function("kept", ty.function_type(ty.VOID, []),
+                                      linkage="external")
+        IRBuilder(kept.append_block("entry")).ret_void()
+        removed = DeadFunctionElimination().run(module)
+        assert removed == 1
+        assert module.get_function("dead") is None
+        assert module.get_function("kept") is not None
+
+    def test_transitively_dead_functions_removed(self):
+        module = Module()
+        inner = module.create_function("inner", ty.function_type(ty.VOID, []))
+        IRBuilder(inner.append_block("entry")).ret_void()
+        outer = module.create_function("outer", ty.function_type(ty.VOID, []))
+        builder = IRBuilder(outer.append_block("entry"))
+        builder.call(inner, [])
+        builder.ret_void()
+        assert DeadFunctionElimination().run(module) == 2
+
+    def test_called_function_kept(self):
+        module = Module()
+        callee = module.create_function("callee", ty.function_type(ty.VOID, []))
+        IRBuilder(callee.append_block("entry")).ret_void()
+        caller = module.create_function("caller", ty.function_type(ty.VOID, []),
+                                        linkage="external")
+        builder = IRBuilder(caller.append_block("entry"))
+        builder.call(callee, [])
+        builder.ret_void()
+        assert DeadFunctionElimination().run(module) == 0
+
+
+class TestSimplifyCFG:
+    def test_removes_unreachable_block(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, []))
+        builder = IRBuilder(function.append_block("entry"))
+        builder.ret(vals.const_int(1))
+        orphan = function.append_block("orphan")
+        IRBuilder(orphan).ret(vals.const_int(2))
+        assert SimplifyCFG().run_on_function(function)
+        assert len(function.blocks) == 1
+
+    def test_merges_straightline_chain(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        entry = function.append_block("entry")
+        mid = function.append_block("mid")
+        builder = IRBuilder(entry)
+        a = builder.add(function.arguments[0], vals.const_int(1))
+        builder.br(mid)
+        mid_builder = IRBuilder(mid)
+        mid_builder.ret(mid_builder.mul(a, vals.const_int(2)))
+        SimplifyCFG().run_on_function(function)
+        assert len(function.blocks) == 1
+        verify_or_raise(function)
+
+    def test_does_not_merge_block_with_multiple_predecessors(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        entry = function.append_block("entry")
+        left = function.append_block("left")
+        right = function.append_block("right")
+        join = function.append_block("join")
+        builder = IRBuilder(entry)
+        cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+        builder.cond_br(cond, left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        IRBuilder(join).ret(vals.const_int(1))
+        SimplifyCFG().run_on_function(function)
+        assert join in function.blocks
+        verify_or_raise(function)
+
+    def test_preserves_semantics(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]),
+                                          linkage="external")
+        entry = function.append_block("entry")
+        mid = function.append_block("mid")
+        builder = IRBuilder(entry)
+        a = builder.mul(function.arguments[0], vals.const_int(3))
+        builder.br(mid)
+        mid_builder = IRBuilder(mid)
+        mid_builder.ret(mid_builder.add(a, vals.const_int(7)))
+        before = Interpreter(module).run("f", [5])
+        SimplifyCFG().run_on_function(function)
+        after = Interpreter(module).run("f", [5])
+        assert before == after == 22
+
+
+class TestRegToMem:
+    def _function_with_phi(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]),
+                                          linkage="external")
+        entry = function.append_block("entry")
+        left = function.append_block("left")
+        right = function.append_block("right")
+        join = function.append_block("join")
+        builder = IRBuilder(entry)
+        cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+        builder.cond_br(cond, left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        join_builder = IRBuilder(join)
+        phi = join_builder.phi(ty.I32, "p")
+        phi.add_incoming(vals.const_int(10), left)
+        phi.add_incoming(vals.const_int(20), right)
+        join_builder.ret(join_builder.add(phi, function.arguments[0]))
+        return module, function
+
+    def test_phi_removed_and_semantics_preserved(self):
+        module, function = self._function_with_phi()
+        before_pos = Interpreter(module).run("f", [4])
+        before_neg = Interpreter(module).run("f", [-4])
+        assert RegToMem().run_on_function(function)
+        assert not any(i.is_phi for i in function.instructions())
+        verify_or_raise(function)
+        assert Interpreter(module).run("f", [4]) == before_pos == 14
+        masked = Interpreter(module).run("f", [-4]) & 0xFFFFFFFF
+        assert masked == (before_neg & 0xFFFFFFFF) == (20 - 4) & 0xFFFFFFFF
+
+    def test_noop_without_phis(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.I32, [ty.I32]))
+        IRBuilder(function.append_block("entry")).ret(function.arguments[0])
+        assert not demote_phis(function)
+
+
+class TestPassManager:
+    def test_runs_passes_in_order_and_times_them(self):
+        calls = []
+
+        class Recorder(Pass):
+            def __init__(self, name):
+                self.name = name
+
+            def run(self, module):
+                calls.append(self.name)
+                return self.name
+
+        manager = PassManager([Recorder("first")])
+        manager.add(Recorder("second"))
+        results = manager.run(Module())
+        assert calls == ["first", "second"]
+        assert results == {"first": "first", "second": "second"}
+        assert len(manager.timings) == 2
+        assert manager.total_time() >= 0.0

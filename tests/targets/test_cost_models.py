@@ -1,0 +1,99 @@
+"""Tests for the target code-size cost models."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.targets import ARM_THUMB, X86_64, available_targets, get_target
+
+
+def _simple_module():
+    module = Module()
+    function = module.create_function("f", ty.function_type(ty.I32, [ty.I32, ty.I32]))
+    builder = IRBuilder(function.append_block("entry"))
+    a, b = function.arguments
+    builder.ret(builder.mul(builder.add(a, b), vals.const_int(3)))
+    return module, function
+
+
+class TestRegistry:
+    def test_lookup_aliases(self):
+        assert get_target("intel") is X86_64
+        assert get_target("x86") is X86_64
+        assert get_target("X86-64") is X86_64
+        assert get_target("arm") is ARM_THUMB
+        assert get_target("thumb") is ARM_THUMB
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            get_target("riscv")
+
+    def test_available_targets(self):
+        assert set(available_targets()) >= {"x86-64", "arm-thumb"}
+
+
+class TestCosts:
+    def test_every_opcode_has_positive_cost(self):
+        from repro.ir.instructions import ALL_OPCODES
+        for model in (X86_64, ARM_THUMB):
+            for opcode in ALL_OPCODES:
+                assert model.opcode_costs.get(opcode, model.default_cost) >= 0
+
+    def test_function_cost_includes_overhead(self):
+        _, function = _simple_module()
+        body = sum(X86_64.instruction_cost(i) for i in function.instructions())
+        assert X86_64.function_cost(function) >= body + X86_64.function_overhead
+
+    def test_declarations_are_free(self):
+        module = Module()
+        module.create_function("ext", ty.function_type(ty.VOID, []), linkage="external")
+        assert X86_64.module_cost(module) == 0
+
+    def test_module_cost_is_sum_of_functions(self):
+        module, function = _simple_module()
+        assert X86_64.module_cost(module) == X86_64.function_cost(function)
+
+    def test_call_cost_grows_with_arguments(self):
+        few = X86_64.call_site_cost(2)
+        many = X86_64.call_site_cost(12)
+        assert many > few
+
+    def test_call_instruction_argument_overhead(self):
+        module = Module()
+        callee = module.create_function(
+            "callee", ty.function_type(ty.VOID, [ty.I32] * 10), linkage="external")
+        caller = module.create_function("caller", ty.function_type(ty.VOID, []))
+        builder = IRBuilder(caller.append_block("entry"))
+        call = builder.call(callee, [vals.const_int(i) for i in range(10)])
+        builder.ret_void()
+        assert X86_64.instruction_cost(call) > X86_64.opcode_costs["call"]
+
+    def test_bitcasts_are_free_on_both_targets(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, [ty.pointer(ty.I8)]))
+        builder = IRBuilder(function.append_block("entry"))
+        cast = builder.bitcast(function.arguments[0], ty.pointer(ty.I32))
+        builder.ret_void()
+        assert X86_64.instruction_cost(cast) == 0
+        assert ARM_THUMB.instruction_cost(cast) == 0
+
+    def test_targets_differ_in_relative_weights(self):
+        # ARM Thumb encodes simple ALU ops in 2 bytes vs ~3 on x86-64
+        assert ARM_THUMB.opcode_costs["add"] < X86_64.opcode_costs["add"]
+        # selects are comparatively expensive on both
+        assert ARM_THUMB.opcode_costs["select"] >= 4
+
+    def test_switch_cost_grows_with_cases(self):
+        module = Module()
+        function = module.create_function("f", ty.function_type(ty.VOID, [ty.I32]))
+        entry = function.append_block("entry")
+        default = function.append_block("default")
+        case_blocks = [function.append_block(f"case{i}") for i in range(4)]
+        builder = IRBuilder(entry)
+        builder.switch(function.arguments[0], default,
+                       [(vals.const_int(i), block) for i, block in enumerate(case_blocks)])
+        for block in [default] + case_blocks:
+            IRBuilder(block).ret_void()
+        switch = function.entry_block.terminator
+        assert X86_64.instruction_cost(switch) > X86_64.opcode_costs["switch"]

@@ -1,0 +1,53 @@
+"""Smoke tests that run the example scripts end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _run_example(name, *args, timeout=240):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True, text=True, timeout=timeout, env=env)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "profitable" in proc.stdout
+        assert "smaller" in proc.stdout
+        assert "MISMATCH" not in proc.stdout
+
+    def test_sphinx_case_study(self):
+        proc = _run_example("sphinx_case_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "func_id" in proc.stdout
+        assert "list linked correctly: True" in proc.stdout
+
+    def test_libquantum_case_study(self):
+        proc = _run_example("libquantum_case_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "MISMATCH" not in proc.stdout
+        assert "profitable = True" in proc.stdout
+
+    def test_rijndael_case_study(self):
+        proc = _run_example("rijndael_case_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Identical merging:  0 merges" in proc.stdout
+        assert "execution check (checksums + final state): OK" in proc.stdout
+
+    @pytest.mark.slow
+    def test_reproduce_paper_subset(self):
+        proc = _run_example("reproduce_paper.py", "--benchmarks",
+                            "462.libquantum", "470.lbm", timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 10" in proc.stdout
+        assert "Figure 13" in proc.stdout
