@@ -1,0 +1,170 @@
+"""Per-stage microbenchmark of the staged MergeEngine.
+
+Runs the same deterministic module population through the seed-equivalent
+configuration (linear candidate scan + predicate-based alignment) and the
+engine defaults (indexed candidate search + integer-key alignment kernel,
+plus the banded variant), checks that every configuration reaches identical
+merge decisions, and emits the per-stage timings as ``BENCH_engine.json`` so
+future PRs have a perf trajectory.
+
+Run directly (the CI smoke job does)::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.01 python benchmarks/bench_engine_stages.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_stages.py -q
+
+Knobs: ``REPRO_BENCH_SCALE`` scales the function population (default 0.01),
+``REPRO_BENCH_REPEATS`` the repetitions per configuration (default 3, best
+run wins), ``REPRO_BENCH_OUT`` the output path.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import FunctionMergingPass, MergeOptions  # noqa: E402
+from repro.ir.module import Module  # noqa: E402
+from repro.workloads import FamilySpec, FunctionSpec, make_family  # noqa: E402
+
+def _env_number(name: str, default, convert=float):
+    """Parse a numeric env knob, falling back to the default on garbage
+    (same behaviour as benchmarks/conftest.py)."""
+    try:
+        return convert(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_SCALE = _env_number("REPRO_BENCH_SCALE", 0.01)
+BENCH_REPEATS = _env_number("REPRO_BENCH_REPEATS", 3, int)
+BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_engine.json")
+
+#: Configurations compared by the benchmark.  "seed" reproduces the
+#: pre-engine implementation's strategies; "engine" is the default pipeline.
+CONFIGS = {
+    "seed": dict(searcher="linear", keyed_alignment=False),
+    "engine": dict(searcher="indexed", keyed_alignment=True),
+    "engine-banded": dict(searcher="indexed", keyed_alignment=True,
+                          options=MergeOptions(alignment_algorithm="nw-banded")),
+}
+
+
+def build_population(scale: float = BENCH_SCALE) -> Module:
+    """Deterministic module population; ~5 functions per family."""
+    module = Module("bench_engine")
+    rng = random.Random(1234)
+    families = max(2, int(round(600 * scale)))
+    for index in range(families):
+        spec = FunctionSpec(
+            f"fam{index}",
+            num_blocks=2 + index % 3,
+            instructions_per_block=6 + (index % 4) * 2,
+            call_ratio=0.2, memory_ratio=0.2,
+            returns_float=bool(index % 5 == 1),
+            seed=100 + index)
+        make_family(module, spec,
+                    FamilySpec(identical=1, structural=2, partial=1), rng)
+    return module
+
+
+def _decisions(report):
+    return [(m.function1, m.function2, m.merged_name, m.rank_position, m.delta)
+            for m in report.merges]
+
+
+def run_config(name: str, scale: float, repeats: int) -> dict:
+    """Best-of-``repeats`` stage timings for one configuration."""
+    kwargs = CONFIGS[name]
+    best = None
+    for _ in range(max(1, repeats)):
+        module = build_population(scale)
+        start = time.perf_counter()
+        report = FunctionMergingPass(exploration_threshold=2, **kwargs).run(module)
+        wall = time.perf_counter() - start
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "wall_seconds": wall,
+                "stage_times": dict(report.stage_times),
+                "stage_stats": report.stage_stats,
+                "merges": report.merge_count,
+                "candidates_evaluated": report.candidates_evaluated,
+                "decisions": _decisions(report),
+            }
+    return best
+
+
+def run_bench(scale: float = BENCH_SCALE, repeats: int = BENCH_REPEATS) -> dict:
+    module = build_population(scale)
+    function_count = len(list(module.defined_functions()))
+
+    results = {name: run_config(name, scale, repeats) for name in CONFIGS}
+
+    reference = results["seed"]["decisions"]
+    for name, result in results.items():
+        if result["decisions"] != reference:
+            raise AssertionError(
+                f"configuration {name!r} changed merge decisions: "
+                f"{result['decisions']} != {reference}")
+
+    def hot_seconds(result):
+        times = result["stage_times"]
+        return times.get("ranking", 0.0) + times.get("alignment", 0.0)
+
+    seed_times = results["seed"]["stage_times"]
+    engine_times = results["engine"]["stage_times"]
+    speedup = {
+        stage: (seed_times.get(stage, 0.0) / engine_times[stage]
+                if engine_times.get(stage) else None)
+        for stage in seed_times
+    }
+    hot_engine = hot_seconds(results["engine"])
+    payload = {
+        "benchmark": "engine_stages",
+        "scale": scale,
+        "repeats": repeats,
+        "functions": function_count,
+        "merges": results["seed"]["merges"],
+        "configs": {name: {k: v for k, v in result.items() if k != "decisions"}
+                    for name, result in results.items()},
+        "stage_speedup_seed_vs_engine": speedup,
+        "hot_stage_speedup": (hot_seconds(results["seed"]) / hot_engine
+                              if hot_engine else None),
+        "wall_speedup": (results["seed"]["wall_seconds"]
+                         / results["engine"]["wall_seconds"]),
+    }
+    return payload
+
+
+def emit(payload: dict, path: str = BENCH_OUT) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    hot = payload["hot_stage_speedup"]
+    print(f"engine stage bench: {payload['functions']} functions, "
+          f"{payload['merges']} merges")
+    for stage, ratio in sorted(payload["stage_speedup_seed_vs_engine"].items()):
+        if ratio is not None:
+            print(f"  {stage:<15} {ratio:5.2f}x")
+    print(f"  ranking+alignment speedup: {hot:.2f}x, "
+          f"wall: {payload['wall_speedup']:.2f}x -> {path}")
+
+
+def test_engine_stage_bench():
+    """Pytest entry point: identical decisions plus a perf tripwire."""
+    payload = run_bench()
+    emit(payload)
+    assert payload["merges"] >= 1
+    # the keyed kernel and indexed searcher should comfortably beat the
+    # seed path; keep the tripwire loose to tolerate CI noise
+    assert payload["hot_stage_speedup"] > 1.2
+
+
+if __name__ == "__main__":
+    emit(run_bench())

@@ -15,14 +15,20 @@ Public API:
 """
 
 from .alignment import (AlignedEntry, AlignmentResult, ScoringScheme, align,
-                        hirschberg, needleman_wunsch)
+                        hirschberg, needleman_wunsch, needleman_wunsch_banded,
+                        needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
 from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
                       MergeResult, merge_functions, merge_parameter_lists,
                       merge_return_types)
-from .equivalence import (entries_equivalent, instructions_equivalent,
-                          labels_equivalent, types_equivalent)
+from .engine import (IndexedCandidateSearcher, MergeEngine, Stage, StageStats,
+                     make_searcher)
+from .equivalence import (EquivalenceKeyInterner, entries_equivalent,
+                          entry_equivalence_key, instructions_equivalent,
+                          labels_equivalent, type_equivalence_key,
+                          types_equivalent)
 from .fingerprint import Fingerprint, fingerprint_module, similarity
-from .linearizer import LinearEntry, linearize, sequence_signature
+from .linearizer import (LinearEntry, LinearizedFunction, linearize,
+                         linearize_with_keys, sequence_signature)
 from .pass_ import (FunctionMergingPass, MergeRecord, MergeReport, STAGES,
                     make_hotness_filter)
 from .profitability import MergeEvaluation, estimate_profit
@@ -31,13 +37,18 @@ from .thunks import AppliedMerge, apply_merge, build_thunk
 
 __all__ = [
     "AlignedEntry", "AlignmentResult", "ScoringScheme", "align", "hirschberg",
-    "needleman_wunsch",
+    "needleman_wunsch", "needleman_wunsch_banded",
+    "needleman_wunsch_banded_keyed", "needleman_wunsch_keyed",
     "CodegenError", "MergeCodeGenerator", "MergeOptions", "MergeResult",
     "merge_functions", "merge_parameter_lists", "merge_return_types",
-    "entries_equivalent", "instructions_equivalent", "labels_equivalent",
+    "IndexedCandidateSearcher", "MergeEngine", "Stage", "StageStats",
+    "make_searcher",
+    "EquivalenceKeyInterner", "entries_equivalent", "entry_equivalence_key",
+    "instructions_equivalent", "labels_equivalent", "type_equivalence_key",
     "types_equivalent",
     "Fingerprint", "fingerprint_module", "similarity",
-    "LinearEntry", "linearize", "sequence_signature",
+    "LinearEntry", "LinearizedFunction", "linearize", "linearize_with_keys",
+    "sequence_signature",
     "FunctionMergingPass", "MergeRecord", "MergeReport", "STAGES",
     "make_hotness_filter",
     "MergeEvaluation", "estimate_profit",

@@ -12,6 +12,14 @@ Algorithms provided:
   space, provided as the memory-friendly alternative the paper alludes to
   ("other algorithms could also be used with different performance and memory
   usage trade-offs").
+* :func:`needleman_wunsch_banded` (``"nw-banded"``) — restricts the DP to a
+  diagonal band and certifies optimality from the band geometry; when the
+  certificate fails it falls back to the full DP, so results are always
+  exactly those of :func:`needleman_wunsch` (entries included).
+* :func:`needleman_wunsch_keyed` / :func:`needleman_wunsch_banded_keyed` —
+  fast kernels over precomputed integer equivalence keys (see
+  :mod:`repro.core.equivalence`); the per-cell predicate becomes an int
+  compare and equal keys share memoised equivalence rows.
 * :func:`align` — front door choosing an algorithm by name.
 
 The result is a list of :class:`AlignedEntry`.  Mismatched (diagonal but
@@ -119,15 +127,6 @@ def needleman_wunsch(seq1: Sequence[T], seq2: Sequence[T],
     entries; see the module docstring.
     """
     n, m = len(seq1), len(seq2)
-    gap = scoring.gap
-
-    # score matrix, row by row
-    score = [[0] * (m + 1) for _ in range(n + 1)]
-    for i in range(1, n + 1):
-        score[i][0] = i * gap
-    for j in range(1, m + 1):
-        score[0][j] = j * gap
-
     # memoise pairwise equivalence (the predicate can be expensive for IR)
     eq_row = [[False] * m for _ in range(n)]
     for i in range(n):
@@ -135,13 +134,58 @@ def needleman_wunsch(seq1: Sequence[T], seq2: Sequence[T],
         row = eq_row[i]
         for j in range(m):
             row[j] = equivalent(a, seq2[j])
+    score = _nw_fill(n, m, eq_row, scoring)
+    entries = _traceback(seq1, seq2, score, eq_row, scoring)
+    return AlignmentResult(entries, score[n][m])
 
+
+def _keyed_eq_rows(keys1: Sequence[int], keys2: Sequence[int]) -> List[List[bool]]:
+    """Equivalence rows from integer keys; rows are shared between equal keys
+    (a linearized function typically has far fewer distinct keys than
+    entries, so this computes u·m int compares instead of n·m)."""
+    cache: dict = {}
+    rows: List[List[bool]] = []
+    for key in keys1:
+        row = cache.get(key)
+        if row is None:
+            row = [key == other for other in keys2]
+            cache[key] = row
+        rows.append(row)
+    return rows
+
+
+def needleman_wunsch_keyed(seq1: Sequence[T], seq2: Sequence[T],
+                           keys1: Sequence[int], keys2: Sequence[int],
+                           scoring: ScoringScheme = ScoringScheme()) -> AlignmentResult[T]:
+    """Needleman-Wunsch over precomputed equivalence keys.
+
+    ``keys1[i] == keys2[j]`` must hold exactly when ``seq1[i]`` and
+    ``seq2[j]`` are equivalent; the result is then identical (entries and
+    score) to :func:`needleman_wunsch` with the corresponding predicate.
+    """
+    n, m = len(seq1), len(seq2)
+    eq_row = _keyed_eq_rows(keys1, keys2)
+    score = _nw_fill(n, m, eq_row, scoring)
+    entries = _traceback(seq1, seq2, score, eq_row, scoring)
+    return AlignmentResult(entries, score[n][m])
+
+
+def _nw_fill(n: int, m: int, eq_row, scoring: ScoringScheme):
+    """Fill the full (n+1)x(m+1) NW score matrix from equivalence rows."""
+    gap = scoring.gap
+    match, mismatch = scoring.match, scoring.mismatch
+    score = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        score[i][0] = i * gap
+    row0 = score[0]
+    for j in range(1, m + 1):
+        row0[j] = j * gap
     for i in range(1, n + 1):
         prev_row = score[i - 1]
         row = score[i]
         eqs = eq_row[i - 1]
         for j in range(1, m + 1):
-            diag = prev_row[j - 1] + (scoring.match if eqs[j - 1] else scoring.mismatch)
+            diag = prev_row[j - 1] + (match if eqs[j - 1] else mismatch)
             up = prev_row[j] + gap
             left = row[j - 1] + gap
             best = diag
@@ -150,9 +194,7 @@ def needleman_wunsch(seq1: Sequence[T], seq2: Sequence[T],
             if left > best:
                 best = left
             row[j] = best
-
-    entries = _traceback(seq1, seq2, score, eq_row, scoring)
-    return AlignmentResult(entries, score[n][m])
+    return score
 
 
 def _traceback(seq1: Sequence[T], seq2: Sequence[T], score, eq_row,
@@ -186,6 +228,187 @@ def _traceback(seq1: Sequence[T], seq2: Sequence[T], score, eq_row,
 
 
 # ---------------------------------------------------------------------------
+# Banded Needleman-Wunsch (exact via an optimality certificate)
+# ---------------------------------------------------------------------------
+
+#: Minimum half-width of the automatic band.
+DEFAULT_BAND_MARGIN = 16
+
+_NEG = float("-inf")
+
+
+def _banded_fill(n: int, m: int, lo: int, hi: int, eq,
+                 scoring: ScoringScheme) -> list:
+    """Fill only the DP cells whose offset ``j - i`` lies in ``[lo, hi]``.
+
+    Returns one ``(jlo, values)`` pair per row; out-of-band neighbours are
+    treated as unreachable.  ``eq(i, j)`` tests equivalence of ``seq1[i]``
+    and ``seq2[j]`` and is only consulted for in-band diagonals.
+    """
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    rows: list = []
+    for i in range(n + 1):
+        jlo, jhi = max(0, i + lo), min(m, i + hi)
+        values = [_NEG] * (jhi - jlo + 1)
+        if i == 0:
+            for j in range(jlo, jhi + 1):
+                values[j - jlo] = j * gap
+        else:
+            prev_jlo, prev_values = rows[i - 1]
+            prev_len = len(prev_values)
+            for j in range(jlo, jhi + 1):
+                best = _NEG
+                pj = j - 1 - prev_jlo
+                if 0 <= pj < prev_len and prev_values[pj] != _NEG:
+                    best = prev_values[pj] + (match if eq(i - 1, j - 1) else mismatch)
+                pj = j - prev_jlo
+                if 0 <= pj < prev_len and prev_values[pj] != _NEG:
+                    up = prev_values[pj] + gap
+                    if up > best:
+                        best = up
+                if j > jlo and values[j - 1 - jlo] != _NEG:
+                    left = values[j - 1 - jlo] + gap
+                    if left > best:
+                        best = left
+                values[j - jlo] = best
+        rows.append((jlo, values))
+    return rows
+
+
+def _banded_traceback(seq1: Sequence[T], seq2: Sequence[T], rows, eq,
+                      scoring: ScoringScheme) -> List[AlignedEntry[T]]:
+    """Traceback over a banded matrix, mirroring :func:`_traceback` move
+    preference (diagonal, then seq1 gap, then seq2 gap) exactly."""
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+
+    def get(i: int, j: int):
+        jlo, values = rows[i]
+        idx = j - jlo
+        if 0 <= idx < len(values):
+            return values[idx]
+        return _NEG
+
+    entries: List[AlignedEntry[T]] = []
+    i, j = len(seq1), len(seq2)
+    while i > 0 or j > 0:
+        cur = get(i, j)
+        if i > 0 and j > 0:
+            prev = get(i - 1, j - 1)
+            if prev != _NEG:
+                is_eq = eq(i - 1, j - 1)
+                if cur == prev + (match if is_eq else mismatch):
+                    if is_eq:
+                        entries.append(AlignedEntry(seq1[i - 1], seq2[j - 1]))
+                    else:
+                        entries.append(AlignedEntry(None, seq2[j - 1]))
+                        entries.append(AlignedEntry(seq1[i - 1], None))
+                    i -= 1
+                    j -= 1
+                    continue
+        if i > 0 and cur == get(i - 1, j) + gap:
+            entries.append(AlignedEntry(seq1[i - 1], None))
+            i -= 1
+            continue
+        entries.append(AlignedEntry(None, seq2[j - 1]))
+        j -= 1
+    entries.reverse()
+    return entries
+
+
+def _try_banded(seq1: Sequence[T], seq2: Sequence[T], eq,
+                scoring: ScoringScheme, margin: int) -> Optional[AlignmentResult[T]]:
+    """Banded DP with an optimality certificate.
+
+    Any alignment path that leaves the band ``j - i in [lo, hi]`` must place
+    at least ``g1_esc`` gaps on the seq1 side, which caps its score at
+    ``escape_bound``.  When the banded optimum strictly beats that cap, every
+    optimal path lies inside the band, the banded score is the global
+    optimum, and the traceback provably reproduces the full-matrix traceback.
+    Returns None when the certificate fails or banding cannot pay off; the
+    caller then falls back to the full DP.
+    """
+    n, m = len(seq1), len(seq2)
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    if n == 0 or m == 0:
+        return None
+    diag_best = max(match, mismatch)
+    if gap > 0 or 2 * gap >= diag_best:
+        return None  # the escape bound below needs extra gaps to cost score
+    d = m - n
+    w = max(0, margin)
+    if w >= min(n, m):
+        return None  # band would cover (almost) the whole matrix
+    lo, hi = min(0, d) - w, max(0, d) + w
+    rows = _banded_fill(n, m, lo, hi, eq, scoring)
+    jlo, last = rows[n]
+    score = last[m - jlo]
+    g1_esc = w + 1 + max(0, -d)
+    if g1_esc <= n:
+        escape_bound = (n - g1_esc) * diag_best + (2 * g1_esc + d) * gap
+        if score <= escape_bound:
+            return None
+    entries = _banded_traceback(seq1, seq2, rows, eq, scoring)
+    return AlignmentResult(entries, score)
+
+
+def needleman_wunsch_banded(seq1: Sequence[T], seq2: Sequence[T],
+                            equivalent: EquivalenceFn = _default_equivalence,
+                            scoring: ScoringScheme = ScoringScheme(),
+                            band_margin: Optional[int] = None) -> AlignmentResult[T]:
+    """Banded Needleman-Wunsch: identical results to the full DP, computed
+    over O((n+m)·w) cells when the optimality certificate holds, with an
+    automatic fallback to :func:`needleman_wunsch` when it does not."""
+    if band_margin is None:
+        band_margin = max(DEFAULT_BAND_MARGIN, min(len(seq1), len(seq2)) // 8)
+    memo: dict = {}
+
+    def eq(i: int, j: int) -> bool:
+        key = (i, j)
+        value = memo.get(key)
+        if value is None:
+            value = memo[key] = equivalent(seq1[i], seq2[j])
+        return value
+
+    result = _try_banded(seq1, seq2, eq, scoring, band_margin)
+    if result is not None:
+        return result
+    # fallback: full DP, reusing the predicate answers the banded attempt
+    # already paid for (the predicate is the expensive part for IR entries)
+    n, m = len(seq1), len(seq2)
+    eq_row = []
+    for i in range(n):
+        a = seq1[i]
+        row = []
+        for j in range(m):
+            value = memo.get((i, j))
+            if value is None:
+                value = equivalent(a, seq2[j])
+            row.append(value)
+        eq_row.append(row)
+    score = _nw_fill(n, m, eq_row, scoring)
+    entries = _traceback(seq1, seq2, score, eq_row, scoring)
+    return AlignmentResult(entries, score[n][m])
+
+
+def needleman_wunsch_banded_keyed(seq1: Sequence[T], seq2: Sequence[T],
+                                  keys1: Sequence[int], keys2: Sequence[int],
+                                  scoring: ScoringScheme = ScoringScheme(),
+                                  band_margin: Optional[int] = None) -> AlignmentResult[T]:
+    """Banded NW over precomputed equivalence keys (int-compare cells),
+    falling back to :func:`needleman_wunsch_keyed` when uncertifiable."""
+    if band_margin is None:
+        band_margin = max(DEFAULT_BAND_MARGIN, min(len(seq1), len(seq2)) // 8)
+
+    def eq(i: int, j: int) -> bool:
+        return keys1[i] == keys2[j]
+
+    result = _try_banded(seq1, seq2, eq, scoring, band_margin)
+    if result is not None:
+        return result
+    return needleman_wunsch_keyed(seq1, seq2, keys1, keys2, scoring)
+
+
+# ---------------------------------------------------------------------------
 # Hirschberg (linear space, same optimal score)
 # ---------------------------------------------------------------------------
 
@@ -211,15 +434,23 @@ def _nw_score_lastrow(seq1: Sequence[T], seq2: Sequence[T],
 def hirschberg(seq1: Sequence[T], seq2: Sequence[T],
                equivalent: EquivalenceFn = _default_equivalence,
                scoring: ScoringScheme = ScoringScheme()) -> AlignmentResult[T]:
-    """Hirschberg's divide-and-conquer alignment: optimal score, linear space."""
+    """Hirschberg's divide-and-conquer alignment: optimal score, linear space.
 
-    def solve(s1: Sequence[T], s2: Sequence[T]) -> List[AlignedEntry[T]]:
+    The optimal score is threaded out of the divide-and-conquer itself: at
+    every split the best combined forward/backward last-row value *is* the
+    optimal score of the subproblem, so no extra full-sequence scoring pass
+    is needed.  (A naive per-entry rescoring would differ anyway, because
+    mismatch columns are expanded into gap pairs.)
+    """
+
+    def solve(s1: Sequence[T], s2: Sequence[T]) -> Tuple[List[AlignedEntry[T]], int]:
         if len(s1) == 0:
-            return [AlignedEntry(None, b) for b in s2]
+            return [AlignedEntry(None, b) for b in s2], len(s2) * scoring.gap
         if len(s2) == 0:
-            return [AlignedEntry(a, None) for a in s1]
+            return [AlignedEntry(a, None) for a in s1], len(s1) * scoring.gap
         if len(s1) == 1 or len(s2) == 1:
-            return needleman_wunsch(s1, s2, equivalent, scoring).entries
+            result = needleman_wunsch(s1, s2, equivalent, scoring)
+            return result.entries, result.score
         mid = len(s1) // 2
         score_left = _nw_score_lastrow(s1[:mid], s2, equivalent, scoring)
         score_right = _nw_score_lastrow(list(reversed(s1[mid:])), list(reversed(s2)),
@@ -232,13 +463,12 @@ def hirschberg(seq1: Sequence[T], seq2: Sequence[T],
             if best_val is None or val > best_val:
                 best_val = val
                 best_j = j
-        return solve(s1[:mid], s2[:best_j]) + solve(s1[mid:], s2[best_j:])
+        left_entries, _ = solve(s1[:mid], s2[:best_j])
+        right_entries, _ = solve(s1[mid:], s2[best_j:])
+        # best_val is the optimum for (s1, s2): the two halves sum to it
+        return left_entries + right_entries, best_val
 
-    entries = solve(list(seq1), list(seq2))
-    # Report the same optimal DP score as needleman_wunsch (computed in
-    # linear space); note that expanded mismatch columns make a naive
-    # per-entry rescoring differ from the DP optimum.
-    score = _nw_score_lastrow(list(seq1), list(seq2), equivalent, scoring)[len(seq2)]
+    entries, score = solve(list(seq1), list(seq2))
     return AlignmentResult(entries, score)
 
 
@@ -263,6 +493,7 @@ def alignment_score(entries: List[AlignedEntry[T]],
 ALGORITHMS = {
     "needleman-wunsch": needleman_wunsch,
     "nw": needleman_wunsch,
+    "nw-banded": needleman_wunsch_banded,
     "hirschberg": hirschberg,
 }
 

@@ -1,0 +1,31 @@
+"""Staged merge engine: pluggable pipeline behind ``FunctionMergingPass``.
+
+Public API:
+
+* :class:`MergeEngine` — the staged driver (fingerprint → candidate search →
+  linearize → align → codegen → profitability → commit).
+* :class:`IndexedCandidateSearcher` / :func:`make_searcher` — exact indexed
+  candidate search (inverted feature index + early-exit bounds).
+* The stage classes and :class:`StageStats`, for building custom pipelines
+  and reading per-stage statistics.
+* :class:`MergeReport` / :class:`MergeRecord` / :data:`STAGES` — the report
+  types (re-exported by :mod:`repro.core.pass_` for backward compatibility).
+"""
+
+from .base import Stage, StageStats
+from .engine import MergeEngine
+from .report import STAGES, MergeRecord, MergeReport
+from .search import (SEARCHERS, IndexedCandidateSearcher, make_searcher)
+from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
+                     CommitStage, FingerprintStage, LinearizeStage,
+                     PreprocessStage, ProfitabilityStage)
+
+__all__ = [
+    "MergeEngine",
+    "Stage", "StageStats",
+    "STAGES", "MergeRecord", "MergeReport",
+    "SEARCHERS", "IndexedCandidateSearcher", "make_searcher",
+    "AlignmentStage", "CandidateSearchStage", "CodegenStage", "CommitStage",
+    "FingerprintStage", "LinearizeStage", "PreprocessStage",
+    "ProfitabilityStage",
+]

@@ -1,0 +1,257 @@
+"""The staged merge engine (the driver behind ``FunctionMergingPass``).
+
+:class:`MergeEngine` runs the paper's exploration framework (Figure 7) as an
+explicit pipeline of strategy stages::
+
+    fingerprint -> candidate search -> linearize -> align
+                -> codegen -> profitability -> commit
+
+Each stage is a small object (see :mod:`repro.core.engine.stages`) with its
+own statistics, and the hot stages are swappable: candidate search defaults
+to the inverted-index searcher (exact top-``t``, no O(N²) scan) and
+alignment defaults to the integer-key kernels (per-cell int compares instead
+of the structural equivalence predicate).  Merge *decisions* are identical to
+the original monolithic pass in every configuration; only the time spent
+reaching them changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Union
+
+from ...ir.callgraph import CallGraph
+from ...ir.function import Function
+from ...ir.module import Module
+from ...targets.cost_model import TargetCostModel
+from ...targets.x86_64 import X86_64
+from ..codegen import CodegenError, MergeOptions, MergeResult
+from ..profitability import MergeEvaluation
+from .base import Stage
+from .report import STAGES, MergeRecord, MergeReport
+from .search import make_searcher
+from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
+                     CommitStage, FingerprintStage, LinearizeStage,
+                     PreprocessStage, ProfitabilityStage)
+
+
+class MergeEngine:
+    """Function Merging by Sequence Alignment as a staged pipeline."""
+
+    def __init__(self, target: Optional[TargetCostModel] = None,
+                 exploration_threshold: int = 1,
+                 oracle: bool = False,
+                 options: Optional[MergeOptions] = None,
+                 allow_deletion: bool = True,
+                 hot_function_filter: Optional[Callable[[Function], bool]] = None,
+                 minimum_function_size: int = 1,
+                 searcher: Union[str, object] = "indexed",
+                 keyed_alignment: bool = True):
+        """Create the engine.
+
+        Args:
+            target: code-size cost model (defaults to x86-64).
+            exploration_threshold: how many ranked candidates to evaluate per
+                function before giving up (the paper's ``t``).
+            oracle: evaluate *all* candidates and commit the best profitable
+                one - the exhaustive strategy the paper uses as an upper
+                bound (quadratic, very slow).
+            options: code-generation options (also selects the alignment
+                algorithm and scoring scheme).
+            allow_deletion: permit deleting originals whose call sites can
+                all be redirected.
+            hot_function_filter: optional predicate; functions for which it
+                returns True are excluded from merging (profile-guided mode
+                used in Section V-D to protect hot code).
+            minimum_function_size: functions with fewer instructions are not
+                considered (they cannot possibly yield a profit).
+            searcher: candidate-search strategy - ``"indexed"`` (default),
+                ``"linear"``, or a pre-built searcher instance (which must
+                offer the :class:`CandidateRanker` interface including
+                ``clear()``; the engine clears it at the start of each run).
+            keyed_alignment: use the integer-key alignment kernels (same
+                results as the predicate-based algorithms, much faster).
+        """
+        self.target = target or X86_64
+        self.exploration_threshold = max(1, exploration_threshold)
+        self.oracle = oracle
+        self.options = options or MergeOptions()
+        self.allow_deletion = allow_deletion
+        self.hot_function_filter = hot_function_filter
+        self.minimum_function_size = minimum_function_size
+
+        if isinstance(searcher, str):
+            searcher = make_searcher(searcher,
+                                     exploration_threshold=self.exploration_threshold)
+        self.searcher = searcher
+
+        self.preprocess = PreprocessStage()
+        self.fingerprint = FingerprintStage(searcher)
+        self.candidate_search = CandidateSearchStage(searcher)
+        self.linearize = LinearizeStage(self.options.traversal)
+        self.alignment = AlignmentStage(self.options.scoring,
+                                        self.options.alignment_algorithm,
+                                        keyed=keyed_alignment)
+        self.codegen = CodegenStage(self.options)
+        self.profitability = ProfitabilityStage(self.target, allow_deletion)
+        self.commit = CommitStage(allow_deletion)
+
+        #: The pipeline, in execution order.
+        self.stages: List[Stage] = [
+            self.preprocess, self.fingerprint, self.candidate_search,
+            self.linearize, self.alignment, self.codegen, self.profitability,
+            self.commit,
+        ]
+
+    # -- helpers ---------------------------------------------------------------
+    def _eligible(self, function: Function) -> bool:
+        if function.is_declaration:
+            return False
+        if function.instruction_count() < self.minimum_function_size:
+            return False
+        return True
+
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        """Fine-grained statistics of every pipeline stage (last run)."""
+        return {stage.name: stage.stats.as_dict() for stage in self.stages}
+
+    def _legacy_stage_times(self) -> Dict[str, float]:
+        """Aggregate stage seconds into the paper's Figure-13 buckets."""
+        times = {stage: 0.0 for stage in STAGES}
+        for stage in self.stages:
+            if stage.legacy_stage is not None:
+                times[stage.legacy_stage] += stage.stats.seconds
+        return times
+
+    # -- main driver --------------------------------------------------------------
+    def run(self, module: Module) -> MergeReport:
+        for stage in self.stages:
+            stage.reset()
+        self.linearize.clear()
+        # the original pass built a fresh ranker per run(): a reused engine
+        # must not rank against the previous module's fingerprints
+        self.searcher.clear()
+        report = MergeReport()
+
+        self.preprocess.run(module)
+        call_graph = CallGraph(module)
+
+        excluded: set = set()
+        if self.hot_function_filter is not None:
+            for function in module.defined_functions():
+                if self.hot_function_filter(function):
+                    excluded.add(function.name)
+            report.excluded_hot_functions = len(excluded)
+
+        eligible = [f for f in module.defined_functions()
+                    if self._eligible(f) and f.name not in excluded]
+        self.fingerprint.add_functions(eligible)
+
+        available = {f.name for f in eligible}
+        worklist = deque(sorted(available))
+        report.functions_considered = len(available)
+
+        while worklist:
+            name = worklist.popleft()
+            if name not in available:
+                continue
+            function1 = module.get_function(name)
+            if function1 is None:
+                available.discard(name)
+                continue
+
+            limit = 0 if self.oracle else self.exploration_threshold
+            candidates = self.candidate_search.query(name, limit)
+
+            best: Optional[tuple] = None
+            for candidate in candidates:
+                if candidate.function_name not in available:
+                    continue
+                function2 = module.get_function(candidate.function_name)
+                if function2 is None:
+                    continue
+                report.candidates_evaluated += 1
+
+                lin1 = self.linearize.get(function1)
+                lin2 = self.linearize.get(function2)
+                alignment = self.alignment.align_pair(lin1, lin2)
+                try:
+                    result = self.codegen.generate(function1, function2, alignment)
+                    evaluation = self.profitability.evaluate(result, call_graph)
+                except CodegenError:
+                    report.codegen_failures += 1
+                    continue
+
+                if evaluation.profitable:
+                    if self.oracle:
+                        if best is None or evaluation.delta > best[2].delta:
+                            if best is not None:
+                                best[1].merged.drop_body()
+                            best = (candidate, result, evaluation)
+                        else:
+                            result.merged.drop_body()
+                        continue
+                    best = (candidate, result, evaluation)
+                    break
+                result.merged.drop_body()
+
+            if best is None:
+                continue
+
+            candidate, result, evaluation = best
+            record = self._commit(module, call_graph, result, evaluation,
+                                  candidate.position, available, worklist)
+            report.merges.append(record)
+
+        report.stage_times = self._legacy_stage_times()
+        report.stage_stats = self.stage_stats()
+        return report
+
+    def _commit(self, module: Module, call_graph: CallGraph,
+                result: MergeResult, evaluation: MergeEvaluation,
+                rank_position: int, available: set,
+                worklist: deque) -> MergeRecord:
+        """Apply a profitable merge and update all bookkeeping."""
+        name1, name2 = result.function1.name, result.function2.name
+        size_before = evaluation.size_function1 + evaluation.size_function2
+        original_instruction_counts = (result.function1.instruction_count(),
+                                       result.function2.instruction_count())
+
+        # apply_merge rewrites the originals' call sites *inside their
+        # callers*, so those callers' cached linearizations - and the
+        # equivalence keys frozen into them - go stale too
+        for original in (result.function1, result.function2):
+            for caller in call_graph.callers_of(original):
+                self.linearize.invalidate(caller.name)
+
+        applied = self.commit.apply(module, result, call_graph)
+
+        for name in (name1, name2):
+            available.discard(name)
+            self.fingerprint.remove_function(name)
+            self.linearize.invalidate(name)
+
+        merged = result.merged
+        if self._eligible(merged):
+            self.fingerprint.add_function(merged)
+            available.add(merged.name)
+            worklist.append(merged.name)
+
+        self.commit.rebuild(call_graph)
+
+        func_id = result.func_id
+        extra_ops = 0
+        if func_id is not None:
+            extra_ops = len([user for user in func_id.users
+                             if getattr(user, "parent", None) is not None])
+        extra_ops += applied.disposition.count("thunk")
+
+        return MergeRecord(
+            function1=name1, function2=name2, merged_name=applied.merged_name,
+            rank_position=rank_position, delta=evaluation.delta,
+            size_before=size_before,
+            size_after=evaluation.size_merged + evaluation.epsilon,
+            dispositions=list(applied.disposition),
+            original_sizes=original_instruction_counts,
+            merged_size=merged.instruction_count(),
+            extra_dynamic_ops=extra_ops)

@@ -1,0 +1,76 @@
+"""Merge reports (moved here from ``repro.core.pass_``, which re-exports).
+
+:class:`MergeReport` keeps its original shape - ``stage_times`` holds the six
+Figure-13 buckets of the paper - and additionally carries the engine's
+fine-grained per-stage statistics in ``stage_stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+#: Stage names used in the timing breakdown, matching Figure 13 of the paper.
+STAGES = ("fingerprinting", "ranking", "linearization", "alignment",
+          "codegen", "updating_calls")
+
+
+@dataclass
+class MergeRecord:
+    """One committed merge operation."""
+
+    function1: str
+    function2: str
+    merged_name: str
+    rank_position: int
+    delta: int
+    size_before: int
+    size_after: int
+    dispositions: List[str] = field(default_factory=list)
+    #: Static instruction counts of the originals and the merged function,
+    #: plus the number of extra instructions (selects / func_id branches /
+    #: thunk calls) the merge introduces on executed paths.  Used by the
+    #: runtime-overhead model (Figure 14).
+    original_sizes: tuple = (0, 0)
+    merged_size: int = 0
+    extra_dynamic_ops: int = 0
+
+
+@dataclass
+class MergeReport:
+    """Result of running the merging pass/engine over one module."""
+
+    merges: List[MergeRecord] = field(default_factory=list)
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    candidates_evaluated: int = 0
+    functions_considered: int = 0
+    codegen_failures: int = 0
+    excluded_hot_functions: int = 0
+    #: Fine-grained engine statistics, keyed by pipeline-stage name; each
+    #: value holds at least ``seconds`` and ``calls`` plus stage-specific
+    #: counters (e.g. candidates pruned, banded fallbacks).
+    stage_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def merge_count(self) -> int:
+        return len(self.merges)
+
+    @property
+    def rank_positions(self) -> List[int]:
+        return [m.rank_position for m in self.merges]
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.stage_times.values())
+
+    def summary(self) -> str:
+        lines = [f"function-merging report: {self.merge_count} merge(s), "
+                 f"{self.candidates_evaluated} candidate(s) evaluated"]
+        for merge in self.merges:
+            lines.append(f"  {merge.function1} + {merge.function2} -> {merge.merged_name} "
+                         f"(rank #{merge.rank_position}, delta {merge.delta})")
+        times = ", ".join(f"{stage}: {self.stage_times.get(stage, 0.0) * 1000:.1f}ms"
+                          for stage in STAGES)
+        lines.append(f"  stage times: {times}")
+        return "\n".join(lines)

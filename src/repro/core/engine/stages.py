@@ -1,0 +1,212 @@
+"""The merge engine's pipeline stages.
+
+Each stage wraps one phase of the FMSA optimization - fingerprint, candidate
+search, linearize, align, codegen, profitability, commit - as a strategy
+object with its own statistics.  Stages hold the per-run caches (fingerprint
+index, linearization/key cache) and the swappable strategy (searcher kind,
+alignment kernel), so optimizing or replacing one phase never touches the
+driver loop in :class:`~repro.core.engine.engine.MergeEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...ir.callgraph import CallGraph
+from ...ir.function import Function
+from ...ir.module import Module
+from ...passes.reg2mem import demote_phis
+from ..alignment import (AlignmentResult, ScoringScheme, align,
+                         needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
+from ..codegen import MergeOptions, MergeResult, merge_functions
+from ..equivalence import EquivalenceKeyInterner, entries_equivalent
+from ..linearizer import LinearizedFunction, linearize_with_keys
+from ..profitability import MergeEvaluation, estimate_profit
+from ..ranking import RankedCandidate
+from ..thunks import AppliedMerge, apply_merge
+from .base import Stage
+
+
+class PreprocessStage(Stage):
+    """Phi demotion: the code generator assumes phi-demoted input."""
+
+    name = "preprocess"
+    legacy_stage = None  # the original pass did not time this
+
+    def run(self, module: Module) -> None:
+        def demote_all():
+            for function in module.defined_functions():
+                demote_phis(function)
+        self.timed(demote_all)
+
+
+class FingerprintStage(Stage):
+    """Maintains the candidate searcher's fingerprint index."""
+
+    name = "fingerprint"
+    legacy_stage = "fingerprinting"
+
+    def __init__(self, searcher):
+        super().__init__()
+        self.searcher = searcher
+
+    def add_functions(self, functions: List[Function]) -> None:
+        self.stats.bump("functions", len(functions))
+        self.timed(self.searcher.add_functions, functions)
+
+    def add_function(self, function: Function) -> None:
+        self.stats.bump("functions")
+        self.timed(self.searcher.add_function, function)
+
+    def remove_function(self, name: str) -> None:
+        self.timed(self.searcher.remove_function, name)
+
+
+class CandidateSearchStage(Stage):
+    """Answers top-``t`` candidate queries against the fingerprint index."""
+
+    name = "candidate-search"
+    legacy_stage = "ranking"
+
+    def __init__(self, searcher):
+        super().__init__()
+        self.searcher = searcher
+
+    def query(self, name: str, limit: int) -> List[RankedCandidate]:
+        candidates = self.timed(self.searcher.rank_candidates, name, limit)
+        self.stats.bump("candidates", len(candidates))
+        return candidates
+
+
+class LinearizeStage(Stage):
+    """Linearizes functions and precomputes integer equivalence keys, cached
+    per function; one shared key interner makes keys comparable across
+    functions."""
+
+    name = "linearize"
+    legacy_stage = "linearization"
+
+    def __init__(self, traversal: str = "rpo"):
+        super().__init__()
+        self.traversal = traversal
+        self.interner = EquivalenceKeyInterner()
+        self._cache: Dict[str, LinearizedFunction] = {}
+
+    def get(self, function: Function) -> LinearizedFunction:
+        return self.timed(self._get, function)
+
+    def _get(self, function: Function) -> LinearizedFunction:
+        cached = self._cache.get(function.name)
+        if cached is None:
+            cached = linearize_with_keys(function, self.traversal, self.interner)
+            self._cache[function.name] = cached
+            self.stats.bump("linearized")
+        else:
+            self.stats.bump("cache_hits")
+        return cached
+
+    def invalidate(self, name: str) -> None:
+        self._cache.pop(name, None)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.interner = EquivalenceKeyInterner()
+
+
+class AlignmentStage(Stage):
+    """Runs the sequence-alignment kernel on two linearized functions.
+
+    With ``keyed=True`` (the default) the named algorithm is dispatched to
+    its fast integer-key kernel when one exists; results are identical to the
+    predicate-based algorithms, only cheaper per cell.
+    """
+
+    name = "align"
+    legacy_stage = "alignment"
+
+    #: Keyed kernels by algorithm name (all produce results identical to the
+    #: predicate-based algorithm of the same name).
+    KEYED_KERNELS = {
+        "needleman-wunsch": needleman_wunsch_keyed,
+        "nw": needleman_wunsch_keyed,
+        "nw-banded": needleman_wunsch_banded_keyed,
+    }
+
+    def __init__(self, scoring: ScoringScheme = ScoringScheme(),
+                 algorithm: str = "needleman-wunsch", keyed: bool = True):
+        super().__init__()
+        self.scoring = scoring
+        self.algorithm = algorithm
+        self.keyed = keyed
+
+    def align_pair(self, lin1: LinearizedFunction,
+                   lin2: LinearizedFunction) -> AlignmentResult:
+        return self.timed(self._align, lin1, lin2)
+
+    def _align(self, lin1: LinearizedFunction, lin2: LinearizedFunction):
+        self.stats.bump("cells", len(lin1.entries) * len(lin2.entries))
+        if self.keyed:
+            kernel = self.KEYED_KERNELS.get(self.algorithm)
+            if kernel is not None:
+                self.stats.bump("keyed")
+                return kernel(lin1.entries, lin2.entries, lin1.keys, lin2.keys,
+                              self.scoring)
+        self.stats.bump("generic")
+        return align(lin1.entries, lin2.entries, entries_equivalent,
+                     self.scoring, self.algorithm)
+
+
+class CodegenStage(Stage):
+    """Generates the merged function for one aligned pair."""
+
+    name = "codegen"
+    legacy_stage = "codegen"
+
+    def __init__(self, options: MergeOptions):
+        super().__init__()
+        self.options = options
+
+    def generate(self, function1: Function, function2: Function,
+                 alignment: AlignmentResult) -> MergeResult:
+        return self.timed(merge_functions, function1, function2,
+                          self.options, alignment)
+
+
+class ProfitabilityStage(Stage):
+    """Evaluates the code-size profit of a merge result."""
+
+    name = "profitability"
+    # the original pass accounted profitability inside the codegen bucket
+    legacy_stage = "codegen"
+
+    def __init__(self, target, allow_deletion: bool):
+        super().__init__()
+        self.target = target
+        self.allow_deletion = allow_deletion
+
+    def evaluate(self, result: MergeResult,
+                 call_graph: CallGraph) -> MergeEvaluation:
+        evaluation = self.timed(estimate_profit, result, self.target,
+                                call_graph, self.allow_deletion)
+        self.stats.bump("profitable" if evaluation.profitable else "unprofitable")
+        return evaluation
+
+
+class CommitStage(Stage):
+    """Applies a profitable merge to the module and updates the call graph."""
+
+    name = "commit"
+    legacy_stage = "updating_calls"
+
+    def __init__(self, allow_deletion: bool):
+        super().__init__()
+        self.allow_deletion = allow_deletion
+
+    def apply(self, module: Module, result: MergeResult,
+              call_graph: CallGraph) -> AppliedMerge:
+        self.stats.bump("merges")
+        return self.timed(apply_merge, module, result, call_graph,
+                          self.allow_deletion)
+
+    def rebuild(self, call_graph: CallGraph) -> None:
+        self.timed(call_graph.rebuild)

@@ -16,9 +16,22 @@ function types.
 Labels of normal basic blocks always match each other; landing blocks only
 match landing blocks whose landing-pad instructions have identical types and
 clause lists.
+
+Because every clause of the relation is an equality over *derived* attributes
+(opcode, operand count, type bitcast classes, immediate attributes), the
+relation is a true equivalence relation and each entry can be summarised by a
+canonical **equivalence key**: two entries are equivalent iff their keys are
+equal.  :class:`EquivalenceKeyInterner` maps those keys to small integers so
+the alignment inner loop degenerates to an int compare instead of a recursive
+structural walk (the hot-path optimisation used by the merge engine).  The
+single non-reflexive corner - calls whose callee function type cannot be
+determined are equivalent to nothing, not even themselves - is preserved by
+assigning such entries a fresh, never-reused key.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, List, Optional
 
 from ..ir import types as ty
 from ..ir.basicblock import BasicBlock
@@ -124,3 +137,112 @@ def entries_equivalent(a: LinearEntry, b: LinearEntry) -> bool:
     if a.is_label:
         return labels_equivalent(a.value, b.value)  # type: ignore[arg-type]
     return instructions_equivalent(a.value, b.value)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Canonical equivalence keys (the fast-kernel representation)
+# ---------------------------------------------------------------------------
+
+def type_equivalence_key(vtype: ty.Type) -> tuple:
+    """Canonical key of a type's :func:`~repro.ir.types.can_losslessly_bitcast`
+    equivalence class.
+
+    First-class non-aggregate types (ints, floats, pointers, tokens) are
+    mutually bitcastable exactly when their lowered sizes agree, so their
+    class is the size alone; everything else (void, labels, function types,
+    aggregates) is only equivalent to a structurally identical type.
+    """
+    if vtype.is_first_class and not vtype.is_aggregate:
+        return ("fc", vtype.size_bits())
+    return vtype._key()
+
+
+def label_equivalence_key(block: BasicBlock) -> tuple:
+    """Canonical key of a basic block under :func:`labels_equivalent`."""
+    if not block.is_landing_block:
+        return ("block",)
+    lp = block.instructions[0]
+    return ("landing", lp.type._key(), lp.attrs.get("clauses"))
+
+
+def _attr_key(value) -> object:
+    """Hashable stand-in for an immediate attribute (types keyed structurally)."""
+    if isinstance(value, ty.Type):
+        return value._key()
+    return value
+
+
+def instruction_equivalence_key(inst: Instruction) -> Optional[tuple]:
+    """Canonical key of an instruction under :func:`instructions_equivalent`,
+    or ``None`` when the instruction is equivalent to nothing (a call whose
+    callee function type cannot be determined)."""
+    opcode = inst.opcode
+    parts: List[object] = [opcode, len(inst.operands),
+                           type_equivalence_key(inst.type)]
+    if opcode in ("icmp", "fcmp"):
+        parts.append(inst.attrs.get("predicate"))
+    elif opcode == "landingpad":
+        # exact (not bitcast-class) type equality plus identical clauses
+        parts.append((inst.type._key(), inst.attrs.get("clauses")))
+    elif opcode == "gep":
+        parts.append(_attr_key(inst.attrs.get("source_type")))
+    elif opcode in ("alloca", "load", "store"):
+        parts.append(_accessed_type_size(inst))
+    elif opcode in ("call", "invoke"):
+        fnty = _callee_function_type(inst)
+        if fnty is None:
+            return None
+        parts.append(fnty._key())
+    for op in inst.operands:
+        if isinstance(op, BasicBlock):
+            parts.append(("lbl", label_equivalence_key(op)))
+        elif isinstance(op, Function):
+            parts.append(("fn", type_equivalence_key(op.type)))
+        else:
+            parts.append(("val", type_equivalence_key(op.type)))
+    return tuple(parts)
+
+
+def entry_equivalence_key(entry: LinearEntry) -> Optional[tuple]:
+    """Canonical key of a linearized entry under :func:`entries_equivalent`.
+
+    ``key(a) == key(b)  <=>  entries_equivalent(a, b)`` for all entries with
+    non-``None`` keys; ``None`` marks the never-equivalent corner case.
+    """
+    if entry.is_label:
+        return ("label", label_equivalence_key(entry.value))  # type: ignore[arg-type]
+    key = instruction_equivalence_key(entry.value)  # type: ignore[arg-type]
+    if key is None:
+        return None
+    return ("inst",) + key
+
+
+class EquivalenceKeyInterner:
+    """Maps canonical equivalence keys to dense integers.
+
+    Sharing one interner across all functions of a module makes cross-function
+    entry equivalence a single int compare.  Never-equivalent entries receive
+    a fresh negative id each time so they compare unequal to everything,
+    themselves included.
+    """
+
+    def __init__(self):
+        self._ids = {}
+        self._unique = 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def key_of(self, entry: LinearEntry) -> int:
+        canonical = entry_equivalence_key(entry)
+        if canonical is None:
+            self._unique -= 1
+            return self._unique
+        existing = self._ids.get(canonical)
+        if existing is None:
+            existing = len(self._ids)
+            self._ids[canonical] = existing
+        return existing
+
+    def keys_of(self, entries: Iterable[LinearEntry]) -> List[int]:
+        return [self.key_of(entry) for entry in entries]

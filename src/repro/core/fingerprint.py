@@ -31,7 +31,8 @@ from ..ir.instructions import Instruction
 class Fingerprint:
     """Opcode-frequency and type-frequency summary of one function."""
 
-    __slots__ = ("function_name", "opcode_freq", "type_freq", "size")
+    __slots__ = ("function_name", "opcode_freq", "type_freq", "size",
+                 "opcode_total", "type_total")
 
     def __init__(self, function_name: str, opcode_freq: Counter,
                  type_freq: Counter, size: int):
@@ -39,6 +40,12 @@ class Fingerprint:
         self.opcode_freq = opcode_freq
         self.type_freq = type_freq
         self.size = size
+        #: Cached multiset cardinalities: together with a candidate's totals
+        #: they bound the similarity from above (shared <= min of totals),
+        #: which is what lets the indexed searcher prune without computing
+        #: the exact intersection.
+        self.opcode_total = sum(opcode_freq.values())
+        self.type_total = sum(type_freq.values())
 
     @classmethod
     def of(cls, function: Function) -> "Fingerprint":

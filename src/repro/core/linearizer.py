@@ -102,6 +102,39 @@ def linearize(function: Function, traversal: str = "rpo") -> List[LinearEntry]:
     return entries
 
 
+def linearize_with_keys(function: Function, traversal: str = "rpo",
+                        interner=None) -> "LinearizedFunction":
+    """Linearize ``function`` and precompute integer equivalence keys.
+
+    The keys come from :class:`repro.core.equivalence.EquivalenceKeyInterner`
+    (one is created on demand when ``interner`` is None): two entries -
+    whether from the same or different functions keyed by the *same* interner
+    - are equivalent exactly when their keys are equal.  The merge engine
+    shares one interner per run so the alignment inner loop compares ints.
+    """
+    from .equivalence import EquivalenceKeyInterner
+    if interner is None:
+        interner = EquivalenceKeyInterner()
+    entries = linearize(function, traversal)
+    return LinearizedFunction(entries, interner.keys_of(entries))
+
+
+class LinearizedFunction:
+    """A linearized function plus per-entry equivalence keys."""
+
+    __slots__ = ("entries", "keys")
+
+    def __init__(self, entries: List[LinearEntry], keys: List[int]):
+        self.entries = entries
+        self.keys = keys
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
 def sequence_signature(entries: Iterable[LinearEntry]) -> List[str]:
     """Opcode/label token sequence - handy for tests and debugging output."""
     return [e.opcode_or_label() for e in entries]

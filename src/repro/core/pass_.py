@@ -1,104 +1,34 @@
 """The FMSA exploration framework (Figure 7 of the paper).
 
-:class:`FunctionMergingPass` drives the whole optimization:
-
-1. pre-process every function (phi demotion),
-2. compute and cache fingerprints,
-3. rank, for each function in the worklist, the top-``t`` most similar
-   candidates,
-4. generate the merged code for each candidate in rank order, evaluate its
-   profitability, and greedily commit the first profitable merge,
-5. update the call graph, replace the originals by thunks or delete them,
-   and feed the new merged function back into the worklist.
+:class:`FunctionMergingPass` is the user-facing pass.  Since the staged
+engine refactor it is a thin facade over
+:class:`repro.core.engine.MergeEngine`, which runs the same optimization as
+an explicit stage pipeline (fingerprint → candidate search → linearize →
+align → codegen → profitability → commit) with swappable, individually
+optimized stages.  The pass keeps its historical constructor and report
+shape; merge decisions are identical to the pre-engine implementation.
 
 Per-stage wall-clock timings are recorded (fingerprinting, ranking,
 linearization, alignment, code generation, call updating) so the evaluation
 harness can reproduce the paper's compile-time breakdown (Figure 13).
+``MergeReport``, ``MergeRecord`` and ``STAGES`` now live in
+:mod:`repro.core.engine.report` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional, Union
 
-from ..ir.callgraph import CallGraph
 from ..ir.function import Function
 from ..ir.module import Module
 from ..passes.pass_manager import Pass
-from ..passes.reg2mem import demote_phis
 from ..targets.cost_model import TargetCostModel
-from ..targets.x86_64 import X86_64
-from .alignment import align
-from .codegen import CodegenError, MergeOptions, MergeResult, merge_functions
-from .equivalence import entries_equivalent
-from .fingerprint import Fingerprint
-from .linearizer import linearize
-from .profitability import MergeEvaluation, estimate_profit
-from .ranking import CandidateRanker
-from .thunks import apply_merge
+from .codegen import MergeOptions
+from .engine import MergeEngine
+from .engine.report import STAGES, MergeRecord, MergeReport
 
-
-#: Stage names used in the timing breakdown, matching Figure 13 of the paper.
-STAGES = ("fingerprinting", "ranking", "linearization", "alignment",
-          "codegen", "updating_calls")
-
-
-@dataclass
-class MergeRecord:
-    """One committed merge operation."""
-
-    function1: str
-    function2: str
-    merged_name: str
-    rank_position: int
-    delta: int
-    size_before: int
-    size_after: int
-    dispositions: List[str] = field(default_factory=list)
-    #: Static instruction counts of the originals and the merged function,
-    #: plus the number of extra instructions (selects / func_id branches /
-    #: thunk calls) the merge introduces on executed paths.  Used by the
-    #: runtime-overhead model (Figure 14).
-    original_sizes: tuple = (0, 0)
-    merged_size: int = 0
-    extra_dynamic_ops: int = 0
-
-
-@dataclass
-class MergeReport:
-    """Result of running the merging pass over one module."""
-
-    merges: List[MergeRecord] = field(default_factory=list)
-    stage_times: Dict[str, float] = field(default_factory=dict)
-    candidates_evaluated: int = 0
-    functions_considered: int = 0
-    codegen_failures: int = 0
-    excluded_hot_functions: int = 0
-
-    @property
-    def merge_count(self) -> int:
-        return len(self.merges)
-
-    @property
-    def rank_positions(self) -> List[int]:
-        return [m.rank_position for m in self.merges]
-
-    @property
-    def total_time(self) -> float:
-        return sum(self.stage_times.values())
-
-    def summary(self) -> str:
-        lines = [f"function-merging report: {self.merge_count} merge(s), "
-                 f"{self.candidates_evaluated} candidate(s) evaluated"]
-        for merge in self.merges:
-            lines.append(f"  {merge.function1} + {merge.function2} -> {merge.merged_name} "
-                         f"(rank #{merge.rank_position}, delta {merge.delta})")
-        times = ", ".join(f"{stage}: {self.stage_times.get(stage, 0.0) * 1000:.1f}ms"
-                          for stage in STAGES)
-        lines.append(f"  stage times: {times}")
-        return "\n".join(lines)
+__all__ = ["FunctionMergingPass", "MergeRecord", "MergeReport", "STAGES",
+           "make_hotness_filter"]
 
 
 class FunctionMergingPass(Pass):
@@ -112,7 +42,9 @@ class FunctionMergingPass(Pass):
                  options: Optional[MergeOptions] = None,
                  allow_deletion: bool = True,
                  hot_function_filter: Optional[Callable[[Function], bool]] = None,
-                 minimum_function_size: int = 1):
+                 minimum_function_size: int = 1,
+                 searcher: Union[str, object] = "indexed",
+                 keyed_alignment: bool = True):
         """Create the pass.
 
         Args:
@@ -130,170 +62,50 @@ class FunctionMergingPass(Pass):
                 used in Section V-D to protect hot code).
             minimum_function_size: functions with fewer instructions are not
                 considered (they cannot possibly yield a profit).
+            searcher: candidate-search strategy (``"indexed"``, ``"linear"``
+                or a searcher instance); all yield identical rankings.
+            keyed_alignment: use the fast integer-key alignment kernels
+                (identical alignments, fewer predicate evaluations).
         """
-        self.target = target or X86_64
-        self.exploration_threshold = max(1, exploration_threshold)
-        self.oracle = oracle
-        self.options = options or MergeOptions()
-        self.allow_deletion = allow_deletion
-        self.hot_function_filter = hot_function_filter
-        self.minimum_function_size = minimum_function_size
-        self._times: Dict[str, float] = {}
+        self.engine = MergeEngine(
+            target=target, exploration_threshold=exploration_threshold,
+            oracle=oracle, options=options, allow_deletion=allow_deletion,
+            hot_function_filter=hot_function_filter,
+            minimum_function_size=minimum_function_size,
+            searcher=searcher, keyed_alignment=keyed_alignment)
 
-    # -- helpers ---------------------------------------------------------------
-    def _timed(self, stage: str, fn, *args, **kwargs):
-        start = time.perf_counter()
-        try:
-            return fn(*args, **kwargs)
-        finally:
-            self._times[stage] = self._times.get(stage, 0.0) + (time.perf_counter() - start)
+    # -- facade properties (historical public attributes) -----------------------
+    @property
+    def target(self) -> TargetCostModel:
+        return self.engine.target
 
-    def _eligible(self, function: Function) -> bool:
-        if function.is_declaration:
-            return False
-        if function.instruction_count() < self.minimum_function_size:
-            return False
-        return True
+    @property
+    def exploration_threshold(self) -> int:
+        return self.engine.exploration_threshold
+
+    @property
+    def oracle(self) -> bool:
+        return self.engine.oracle
+
+    @property
+    def options(self) -> MergeOptions:
+        return self.engine.options
+
+    @property
+    def allow_deletion(self) -> bool:
+        return self.engine.allow_deletion
+
+    @property
+    def hot_function_filter(self) -> Optional[Callable[[Function], bool]]:
+        return self.engine.hot_function_filter
+
+    @property
+    def minimum_function_size(self) -> int:
+        return self.engine.minimum_function_size
 
     # -- main driver --------------------------------------------------------------
     def run(self, module: Module) -> MergeReport:
-        report = MergeReport()
-        self._times = {stage: 0.0 for stage in STAGES}
-
-        # Pre-processing: the code generator assumes phi-demoted input.
-        for function in module.defined_functions():
-            demote_phis(function)
-
-        call_graph = CallGraph(module)
-
-        excluded: set = set()
-        if self.hot_function_filter is not None:
-            for function in module.defined_functions():
-                if self.hot_function_filter(function):
-                    excluded.add(function.name)
-            report.excluded_hot_functions = len(excluded)
-
-        ranker = CandidateRanker(exploration_threshold=self.exploration_threshold)
-        eligible = [f for f in module.defined_functions()
-                    if self._eligible(f) and f.name not in excluded]
-        self._timed("fingerprinting", ranker.add_functions, eligible)
-
-        available = {f.name for f in eligible}
-        worklist = deque(sorted(available))
-        report.functions_considered = len(available)
-        linearization_cache: Dict[str, list] = {}
-
-        def linearized(function: Function) -> list:
-            cached = linearization_cache.get(function.name)
-            if cached is None:
-                cached = linearize(function, self.options.traversal)
-                linearization_cache[function.name] = cached
-            return cached
-
-        while worklist:
-            name = worklist.popleft()
-            if name not in available:
-                continue
-            function1 = module.get_function(name)
-            if function1 is None:
-                available.discard(name)
-                continue
-
-            limit = 0 if self.oracle else self.exploration_threshold
-            candidates = self._timed("ranking", ranker.rank_candidates, name, limit)
-
-            best: Optional[tuple] = None
-            for candidate in candidates:
-                if candidate.function_name not in available:
-                    continue
-                function2 = module.get_function(candidate.function_name)
-                if function2 is None:
-                    continue
-                report.candidates_evaluated += 1
-
-                entries1 = self._timed("linearization", linearized, function1)
-                entries2 = self._timed("linearization", linearized, function2)
-                alignment = self._timed(
-                    "alignment", align, entries1, entries2, entries_equivalent,
-                    self.options.scoring, self.options.alignment_algorithm)
-                try:
-                    result = self._timed("codegen", merge_functions,
-                                         function1, function2, self.options, alignment)
-                    evaluation = self._timed("codegen", estimate_profit, result,
-                                             self.target, call_graph, self.allow_deletion)
-                except CodegenError:
-                    report.codegen_failures += 1
-                    continue
-
-                if evaluation.profitable:
-                    if self.oracle:
-                        if best is None or evaluation.delta > best[2].delta:
-                            if best is not None:
-                                best[1].merged.drop_body()
-                            best = (candidate, result, evaluation)
-                        else:
-                            result.merged.drop_body()
-                        continue
-                    best = (candidate, result, evaluation)
-                    break
-                result.merged.drop_body()
-
-            if best is None:
-                continue
-
-            candidate, result, evaluation = best
-            function2 = module.get_function(candidate.function_name)
-            record = self._commit(module, call_graph, ranker, result, evaluation,
-                                  candidate.position, available, worklist,
-                                  linearization_cache)
-            report.merges.append(record)
-
-        report.stage_times = dict(self._times)
-        return report
-
-    def _commit(self, module: Module, call_graph: CallGraph,
-                ranker: CandidateRanker, result: MergeResult,
-                evaluation: MergeEvaluation, rank_position: int,
-                available: set, worklist: deque,
-                linearization_cache: Dict[str, list]) -> MergeRecord:
-        """Apply a profitable merge and update all bookkeeping."""
-        name1, name2 = result.function1.name, result.function2.name
-        size_before = evaluation.size_function1 + evaluation.size_function2
-        original_instruction_counts = (result.function1.instruction_count(),
-                                       result.function2.instruction_count())
-
-        applied = self._timed("updating_calls", apply_merge, module, result,
-                              call_graph, self.allow_deletion)
-
-        for name in (name1, name2):
-            available.discard(name)
-            ranker.remove_function(name)
-            linearization_cache.pop(name, None)
-
-        merged = result.merged
-        if self._eligible(merged):
-            self._timed("fingerprinting", ranker.add_function, merged)
-            available.add(merged.name)
-            worklist.append(merged.name)
-
-        self._timed("updating_calls", call_graph.rebuild)
-
-        func_id = result.func_id
-        extra_ops = 0
-        if func_id is not None:
-            extra_ops = len([user for user in func_id.users
-                             if getattr(user, "parent", None) is not None])
-        extra_ops += applied.disposition.count("thunk")
-
-        return MergeRecord(
-            function1=name1, function2=name2, merged_name=applied.merged_name,
-            rank_position=rank_position, delta=evaluation.delta,
-            size_before=size_before,
-            size_after=evaluation.size_merged + evaluation.epsilon,
-            dispositions=list(applied.disposition),
-            original_sizes=original_instruction_counts,
-            merged_size=merged.instruction_count(),
-            extra_dynamic_ops=extra_ops)
+        return self.engine.run(module)
 
 
 def make_hotness_filter(threshold: float = 0.01) -> Callable[[Function], bool]:

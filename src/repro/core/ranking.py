@@ -5,6 +5,11 @@ partners according to the fingerprint similarity estimate, using a bounded
 priority queue so that the per-function cost is O(N log t) over N candidate
 functions.  The exploration threshold ``t`` is the knob evaluated in the
 paper (t = 1, 5, 10, plus the exhaustive "oracle").
+
+:class:`CandidateRanker` is the straightforward linear-scan reference; the
+merge engine's default searcher,
+:class:`repro.core.engine.IndexedCandidateSearcher`, answers the same queries
+with identical results from an inverted feature index.
 """
 
 from __future__ import annotations
@@ -47,7 +52,11 @@ class CandidateRanker:
 
     # -- fingerprint cache maintenance ---------------------------------------
     def add_function(self, function: Function) -> None:
-        self._fingerprints[function.name] = Fingerprint.of(function)
+        self.add_fingerprint(Fingerprint.of(function))
+
+    def add_fingerprint(self, fingerprint: Fingerprint) -> None:
+        """Register a precomputed fingerprint (used by tests and benches)."""
+        self._fingerprints[fingerprint.function_name] = fingerprint
 
     def add_functions(self, functions: Iterable[Function]) -> None:
         for function in functions:
@@ -55,6 +64,10 @@ class CandidateRanker:
 
     def remove_function(self, name: str) -> None:
         self._fingerprints.pop(name, None)
+
+    def clear(self) -> None:
+        """Forget every fingerprint (the engine clears searchers per run)."""
+        self._fingerprints.clear()
 
     def known_functions(self) -> List[str]:
         return sorted(self._fingerprints)

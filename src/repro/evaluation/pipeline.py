@@ -166,13 +166,20 @@ def compile_module(module: Module, technique: str, *,
                    exclude_hot: bool = False,
                    hot_threshold: float = 0.01,
                    merge_options: Optional[MergeOptions] = None,
-                   run_identical_first: bool = True) -> CompilationResult:
+                   run_identical_first: bool = True,
+                   searcher: str = "indexed",
+                   keyed_alignment: bool = True) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
     ``technique`` is one of ``"baseline"``, ``"identical"``, ``"soa"`` or
     ``"fmsa"``.  The module is modified in place; callers that want to
     compare techniques must regenerate the module per configuration (the
     workload generators are deterministic, so this is cheap and exact).
+
+    ``searcher`` and ``keyed_alignment`` select the merge engine's
+    candidate-search and alignment-kernel strategies; every choice produces
+    identical merge decisions and only changes the stage timings (the knob
+    the engine microbenchmark sweeps).
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -210,7 +217,8 @@ def compile_module(module: Module, technique: str, *,
             fmsa = FunctionMergingPass(
                 target=cost_model, exploration_threshold=threshold, oracle=oracle,
                 options=merge_options or MergeOptions(),
-                hot_function_filter=hot_filter)
+                hot_function_filter=hot_filter,
+                searcher=searcher, keyed_alignment=keyed_alignment)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

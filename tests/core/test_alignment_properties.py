@@ -3,10 +3,17 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ScoringScheme, hirschberg, needleman_wunsch
+from repro.core import (ScoringScheme, hirschberg, needleman_wunsch,
+                        needleman_wunsch_banded, needleman_wunsch_banded_keyed,
+                        needleman_wunsch_keyed)
 
 short_text = st.text(alphabet="ABCD", max_size=14)
 tiny_text = st.text(alphabet="AB", max_size=7)
+band_margins = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+
+
+def entry_pairs(result):
+    return [(e.left, e.right) for e in result.entries]
 
 
 def brute_force_score(seq1, seq2, scoring=ScoringScheme()):
@@ -79,3 +86,56 @@ def test_self_alignment_is_all_matches(seq):
 def test_alignment_is_symmetric_in_score(seq1, seq2):
     assert (needleman_wunsch(seq1, seq2).score
             == needleman_wunsch(seq2, seq1).score)
+
+
+# -- banded and keyed kernels: exact parity with the full DP -----------------
+
+@settings(max_examples=120, deadline=None)
+@given(short_text, short_text, band_margins)
+def test_banded_matches_full_nw_score_and_entries(seq1, seq2, margin):
+    full = needleman_wunsch(seq1, seq2)
+    banded = needleman_wunsch_banded(seq1, seq2, band_margin=margin)
+    assert banded.score == full.score
+    assert entry_pairs(banded) == entry_pairs(full)
+
+
+@settings(max_examples=60, deadline=None)
+@given(short_text, short_text,
+       st.integers(1, 3), st.integers(-3, 0), st.integers(-3, 0))
+def test_banded_matches_full_nw_under_any_scoring(seq1, seq2, match, mismatch, gap):
+    scoring = ScoringScheme(match=match, mismatch=mismatch, gap=gap)
+    full = needleman_wunsch(seq1, seq2, scoring=scoring)
+    banded = needleman_wunsch_banded(seq1, seq2, scoring=scoring, band_margin=1)
+    assert banded.score == full.score
+    assert entry_pairs(banded) == entry_pairs(full)
+
+
+@settings(max_examples=80, deadline=None)
+@given(short_text, short_text)
+def test_keyed_kernel_matches_predicate_nw(seq1, seq2):
+    keys1 = [ord(c) for c in seq1]
+    keys2 = [ord(c) for c in seq2]
+    full = needleman_wunsch(seq1, seq2)
+    keyed = needleman_wunsch_keyed(seq1, seq2, keys1, keys2)
+    assert keyed.score == full.score
+    assert entry_pairs(keyed) == entry_pairs(full)
+
+
+@settings(max_examples=80, deadline=None)
+@given(short_text, short_text, band_margins)
+def test_banded_keyed_kernel_matches_full_nw(seq1, seq2, margin):
+    keys1 = [ord(c) for c in seq1]
+    keys2 = [ord(c) for c in seq2]
+    full = needleman_wunsch(seq1, seq2)
+    banded = needleman_wunsch_banded_keyed(seq1, seq2, keys1, keys2,
+                                           band_margin=margin)
+    assert banded.score == full.score
+    assert entry_pairs(banded) == entry_pairs(full)
+
+
+@settings(max_examples=60, deadline=None)
+@given(short_text)
+def test_hirschberg_threads_score_out_of_divide_and_conquer(seq):
+    # self-alignment: optimal score is len(seq) matches, no rescoring pass
+    result = hirschberg(seq, seq)
+    assert result.score == len(seq)

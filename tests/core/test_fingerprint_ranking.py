@@ -1,10 +1,13 @@
 """Tests for fingerprints, the UB similarity estimate and candidate ranking."""
 
+from collections import Counter
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CandidateRanker, Fingerprint, fingerprint_module, similarity
+from repro.core import (CandidateRanker, Fingerprint, IndexedCandidateSearcher,
+                        fingerprint_module, make_searcher, similarity)
 from repro.ir import Module
 from repro.ir import types as ty
 from repro.workloads import clone_function, mutate_opcodes
@@ -140,3 +143,84 @@ class TestRanker:
         ranker.add_functions(module.defined_functions())
         assert len(ranker) == 3
         assert ranker.known_functions() == ["add_like", "loop", "sub_like"]
+
+
+# -- indexed searcher: exact parity with the linear ranker -------------------
+
+#: Small alphabets and count ranges so hypothesis hits plenty of score ties,
+#: which is where heap/ordering behaviour could plausibly diverge.
+fingerprint_sets = st.lists(
+    st.tuples(st.dictionaries(st.sampled_from("abcdef"), st.integers(1, 4), max_size=4),
+              st.dictionaries(st.sampled_from("wxyz"), st.integers(1, 4), max_size=3)),
+    min_size=1, max_size=12)
+
+
+def _ranked_tuples(searcher, name, limit):
+    return [(c.function_name, c.score, c.position)
+            for c in searcher.rank_candidates(name, limit)]
+
+
+class TestIndexedSearcherParity:
+    @settings(max_examples=120, deadline=None)
+    @given(fingerprint_sets, st.sampled_from([None, 0, 1, 2, 5]),
+           st.integers(1, 4))
+    def test_identical_topt_to_linear_ranker(self, raw, limit, threshold):
+        linear = CandidateRanker(exploration_threshold=threshold)
+        indexed = IndexedCandidateSearcher(exploration_threshold=threshold)
+        for i, (opcodes, types) in enumerate(raw):
+            fp = Fingerprint(f"f{i}", Counter(opcodes), Counter(types),
+                             sum(opcodes.values()))
+            linear.add_fingerprint(fp)
+            indexed.add_fingerprint(fp)
+        for i in range(len(raw)):
+            assert (_ranked_tuples(indexed, f"f{i}", limit)
+                    == _ranked_tuples(linear, f"f{i}", limit))
+
+    @settings(max_examples=60, deadline=None)
+    @given(fingerprint_sets, st.lists(st.integers(0, 11), max_size=4))
+    def test_parity_survives_removals(self, raw, removals):
+        linear = CandidateRanker(exploration_threshold=3)
+        indexed = IndexedCandidateSearcher(exploration_threshold=3)
+        for i, (opcodes, types) in enumerate(raw):
+            fp = Fingerprint(f"f{i}", Counter(opcodes), Counter(types),
+                             sum(opcodes.values()))
+            linear.add_fingerprint(fp)
+            indexed.add_fingerprint(fp)
+        for index in removals:
+            linear.remove_function(f"f{index}")
+            indexed.remove_function(f"f{index}")
+        assert indexed.known_functions() == linear.known_functions()
+        for name in linear.known_functions():
+            assert (_ranked_tuples(indexed, name, None)
+                    == _ranked_tuples(linear, name, None))
+
+    def test_parity_on_real_module(self):
+        module, add_like, sub_like, loop = _module_with_functions()
+        clone = clone_function(module, add_like, "add_clone")
+        linear = CandidateRanker(exploration_threshold=3)
+        indexed = IndexedCandidateSearcher(exploration_threshold=3)
+        linear.add_functions(module.defined_functions())
+        indexed.add_functions(module.defined_functions())
+        for name in linear.known_functions():
+            for limit in (None, 0, 1, 10):
+                assert (_ranked_tuples(indexed, name, limit)
+                        == _ranked_tuples(linear, name, limit))
+
+    def test_container_protocol(self):
+        module, *_ = _module_with_functions()
+        indexed = IndexedCandidateSearcher()
+        indexed.add_functions(module.defined_functions())
+        assert len(indexed) == 3
+        assert "add_like" in indexed
+        assert indexed.known_functions() == ["add_like", "loop", "sub_like"]
+        assert indexed.rank_candidates("nope") == []
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedCandidateSearcher(exploration_threshold=0)
+
+    def test_make_searcher_factory(self):
+        assert isinstance(make_searcher("indexed"), IndexedCandidateSearcher)
+        assert isinstance(make_searcher("linear"), CandidateRanker)
+        with pytest.raises(ValueError):
+            make_searcher("nope")
