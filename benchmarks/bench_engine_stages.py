@@ -1,11 +1,18 @@
-"""Per-stage microbenchmark of the staged MergeEngine.
+"""Per-stage and scheduler microbenchmarks of the staged MergeEngine.
 
-Runs the same deterministic module population through the seed-equivalent
-configuration (linear candidate scan + predicate-based alignment) and the
-engine defaults (indexed candidate search + integer-key alignment kernel,
-plus the banded variant), checks that every configuration reaches identical
-merge decisions, and emits the per-stage timings as ``BENCH_engine.json`` so
-future PRs have a perf trajectory.
+Part one (``BENCH_engine.json``) runs the same deterministic module
+population through the seed-equivalent configuration (linear candidate scan
++ predicate-based alignment) and the engine defaults (indexed candidate
+search + integer-key alignment kernel, plus the banded variant), checks that
+every configuration reaches identical merge decisions, and emits the
+per-stage timings so future PRs have a perf trajectory.
+
+Part two (``BENCH_scheduler.json``) benchmarks the plan/commit scheduler:
+the seed rebuild-per-commit protocol versus the incremental call-graph
+commit path, serially and with the thread-pool planner at several ``jobs``
+settings, recording wall clocks, the commit-stage share, and the scheduler's
+conflict/requeue/stale rates.  All configurations must reach bit-identical
+merge decisions.
 
 Run directly (the CI smoke job does)::
 
@@ -15,9 +22,10 @@ or through pytest::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_stages.py -q
 
-Knobs: ``REPRO_BENCH_SCALE`` scales the function population (default 0.01),
+Knobs: ``REPRO_BENCH_SCALE`` scales the function population (default 0.01;
+the scheduler bench uses ``REPRO_BENCH_SCHED_SCALE``, default 4x that),
 ``REPRO_BENCH_REPEATS`` the repetitions per configuration (default 3, best
-run wins), ``REPRO_BENCH_OUT`` the output path.
+run wins), ``REPRO_BENCH_OUT`` / ``REPRO_BENCH_SCHED_OUT`` the output paths.
 """
 
 import json
@@ -46,6 +54,8 @@ def _env_number(name: str, default, convert=float):
 BENCH_SCALE = _env_number("REPRO_BENCH_SCALE", 0.01)
 BENCH_REPEATS = _env_number("REPRO_BENCH_REPEATS", 3, int)
 BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_engine.json")
+SCHED_SCALE = _env_number("REPRO_BENCH_SCHED_SCALE", BENCH_SCALE * 4)
+SCHED_OUT = os.environ.get("REPRO_BENCH_SCHED_OUT", "BENCH_scheduler.json")
 
 #: Configurations compared by the benchmark.  "seed" reproduces the
 #: pre-engine implementation's strategies; "engine" is the default pipeline.
@@ -166,5 +176,111 @@ def test_engine_stage_bench():
     assert payload["hot_stage_speedup"] > 1.2
 
 
+# ---------------------------------------------------------------------------
+# Plan/commit scheduler benchmark (BENCH_scheduler.json)
+# ---------------------------------------------------------------------------
+
+#: Scheduler configurations.  "rebuild-serial" is the seed commit protocol
+#: (full call-graph rebuilds around every merge); the rest use the
+#: incremental commit path with increasing planner parallelism.
+SCHED_CONFIGS = {
+    "rebuild-serial": dict(jobs=1, incremental_callgraph=False),
+    "incremental-serial": dict(jobs=1),
+    "jobs2": dict(jobs=2),
+    "jobs4": dict(jobs=4),
+}
+
+
+def run_scheduler_config(name: str, scale: float, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock + commit stats for one configuration."""
+    kwargs = SCHED_CONFIGS[name]
+    best = None
+    for _ in range(max(1, repeats)):
+        module = build_population(scale)
+        function_count = len(module.defined_functions())
+        start = time.perf_counter()
+        report = FunctionMergingPass(exploration_threshold=2, **kwargs).run(module)
+        wall = time.perf_counter() - start
+        if best is None or wall < best["wall_seconds"]:
+            commit_stats = report.stage_stats.get("commit", {})
+            best = {
+                "wall_seconds": wall,
+                "commit_seconds": report.stage_times.get("updating_calls", 0.0),
+                "commit_rebuilds": commit_stats.get("rebuilds", 0.0),
+                "functions": function_count,
+                "merges": report.merge_count,
+                "stale_entries": report.stale_entries,
+                "scheduler": report.scheduler_stats,
+                "decisions": _decisions(report),
+            }
+    return best
+
+
+def run_scheduler_bench(scale: float = SCHED_SCALE,
+                        repeats: int = BENCH_REPEATS) -> dict:
+    results = {name: run_scheduler_config(name, scale, repeats)
+               for name in SCHED_CONFIGS}
+    function_count = results["rebuild-serial"]["functions"]
+
+    reference = results["rebuild-serial"]["decisions"]
+    for name, result in results.items():
+        if result["decisions"] != reference:
+            raise AssertionError(
+                f"scheduler configuration {name!r} changed merge decisions: "
+                f"{result['decisions']} != {reference}")
+
+    rebuild = results["rebuild-serial"]
+    payload = {
+        "benchmark": "merge_scheduler",
+        "scale": scale,
+        "repeats": repeats,
+        "functions": function_count,
+        "merges": rebuild["merges"],
+        "configs": {name: {k: v for k, v in result.items() if k != "decisions"}
+                    for name, result in results.items()},
+        "commit_stage_speedup": (
+            rebuild["commit_seconds"]
+            / results["incremental-serial"]["commit_seconds"]
+            if results["incremental-serial"]["commit_seconds"] else None),
+        "wall_speedup_vs_rebuild": {
+            name: rebuild["wall_seconds"] / result["wall_seconds"]
+            for name, result in results.items()},
+        "conflict_rate": {
+            name: (result["scheduler"].get("conflicts", 0)
+                   / max(1, result["scheduler"].get("planned", 1)))
+            for name, result in results.items()},
+    }
+    return payload
+
+
+def emit_scheduler(payload: dict, path: str = SCHED_OUT) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"scheduler bench: {payload['functions']} functions, "
+          f"{payload['merges']} merges")
+    for name, ratio in sorted(payload["wall_speedup_vs_rebuild"].items()):
+        conflicts = payload["configs"][name]["scheduler"].get("conflicts", 0)
+        replans = payload["configs"][name]["scheduler"].get("replans", 0)
+        print(f"  {name:<20} wall {ratio:5.2f}x vs rebuild-serial "
+              f"(conflicts {conflicts}, replans {replans})")
+    print(f"  commit-stage speedup (incremental vs rebuild): "
+          f"{payload['commit_stage_speedup']:.2f}x -> {path}")
+
+
+def test_scheduler_bench():
+    """Pytest entry point: bit-identical decisions across schedulers, the
+    commit stage no longer dominated by rebuild(), and no wall-clock
+    regression from the batched planner."""
+    payload = run_scheduler_bench()
+    emit_scheduler(payload)
+    assert payload["merges"] >= 1
+    # incremental maintenance must clearly beat rebuild-per-commit
+    assert payload["commit_stage_speedup"] > 1.3
+    # the incremental commit path must win on wall clock, serial or batched
+    assert payload["wall_speedup_vs_rebuild"]["incremental-serial"] > 1.0
+    assert payload["wall_speedup_vs_rebuild"]["jobs2"] > 1.0
+
+
 if __name__ == "__main__":
     emit(run_bench())
+    emit_scheduler(run_scheduler_bench())

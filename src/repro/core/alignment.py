@@ -231,10 +231,43 @@ def _traceback(seq1: Sequence[T], seq2: Sequence[T], score, eq_row,
 # Banded Needleman-Wunsch (exact via an optimality certificate)
 # ---------------------------------------------------------------------------
 
-#: Minimum half-width of the automatic band.
+#: Minimum half-width of the automatic band (predicate-based kernel, which
+#: has no cheap way to estimate the gap budget of a pair).
 DEFAULT_BAND_MARGIN = 16
 
+#: Minimum half-width of a key-derived band.
+MIN_DERIVED_BAND_MARGIN = 8
+
 _NEG = float("-inf")
+
+
+def derive_band_margin(keys1: Sequence[int], keys2: Sequence[int],
+                       floor: int = MIN_DERIVED_BAND_MARGIN) -> int:
+    """Estimate the band half-width from the pair's equivalence-key multisets.
+
+    Matching entries must share an equivalence key, so at most
+    ``M = sum_k min(count1(k), count2(k))`` alignment columns can be matches;
+    the remaining ``(n - M) + (m - M)`` entries are forced into gap columns,
+    and it is (only) gap moves that push the optimal path off the main
+    diagonal band.  Near-identical functions therefore get a band a few
+    entries wide - O((n+m)·w) cells instead of O(n·m) - while dissimilar
+    pairs get a proportionally wider band.  This is the per-pair analogue of
+    the fingerprint-distance ranking bound: it is an *estimate* (matchable
+    entries can still be displaced, e.g. reordered blocks), so the banded
+    kernel's optimality certificate remains the correctness gate and the
+    full DP the fallback.
+    """
+    counts: dict = {}
+    for key in keys1:
+        counts[key] = counts.get(key, 0) + 1
+    matched = 0
+    for key in keys2:
+        remaining = counts.get(key, 0)
+        if remaining > 0:
+            counts[key] = remaining - 1
+            matched += 1
+    unmatched = (len(keys1) - matched) + (len(keys2) - matched)
+    return max(floor, unmatched)
 
 
 def _banded_fill(n: int, m: int, lo: int, hi: int, eq,
@@ -395,9 +428,15 @@ def needleman_wunsch_banded_keyed(seq1: Sequence[T], seq2: Sequence[T],
                                   scoring: ScoringScheme = ScoringScheme(),
                                   band_margin: Optional[int] = None) -> AlignmentResult[T]:
     """Banded NW over precomputed equivalence keys (int-compare cells),
-    falling back to :func:`needleman_wunsch_keyed` when uncertifiable."""
+    falling back to :func:`needleman_wunsch_keyed` when uncertifiable.
+
+    The default band half-width is derived from the pair's key-multiset
+    distance (:func:`derive_band_margin`): near-identical sequences get a
+    narrow, certifiable band instead of the fixed ``min(n, m) // 8`` margin
+    that used to make the certificate pointless on exactly the large
+    near-identical functions banding should help with."""
     if band_margin is None:
-        band_margin = max(DEFAULT_BAND_MARGIN, min(len(seq1), len(seq2)) // 8)
+        band_margin = derive_band_margin(keys1, keys2)
 
     def eq(i: int, j: int) -> bool:
         return keys1[i] == keys2[j]

@@ -4,8 +4,15 @@ Public API:
 
 * :class:`MergeEngine` — the staged driver (fingerprint → candidate search →
   linearize → align → codegen → profitability → commit).
+* :class:`MergeScheduler` / :func:`make_executor` — the plan/commit driver:
+  batched read-only planning (serial or thread-pool via ``jobs=``) plus a
+  conflict-checked serial committer; bit-identical to the serial loop.
+* :class:`MergePlan` / :class:`CommitEvents` — the immutable plan objects and
+  the commit-side invalidation events the conflict rules are built from.
 * :class:`IndexedCandidateSearcher` / :func:`make_searcher` — exact indexed
   candidate search (inverted feature index + early-exit bounds).
+* :class:`ProfitBoundIndex` — sound per-pair profit upper bounds used to
+  prune oracle-mode candidate evaluation.
 * The stage classes and :class:`StageStats`, for building custom pipelines
   and reading per-stage statistics.
 * :class:`MergeReport` / :class:`MergeRecord` / :data:`STAGES` — the report
@@ -14,7 +21,11 @@ Public API:
 
 from .base import Stage, StageStats
 from .engine import MergeEngine
+from .plan import CommitEvents, MergePlan, PlanDecision
+from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
+from .scheduler import (EXECUTORS, MergeScheduler, PlanExecutor,
+                        SerialExecutor, ThreadExecutor, make_executor)
 from .search import (SEARCHERS, IndexedCandidateSearcher, make_searcher)
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
@@ -22,6 +33,10 @@ from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
 
 __all__ = [
     "MergeEngine",
+    "MergeScheduler", "PlanExecutor", "SerialExecutor", "ThreadExecutor",
+    "EXECUTORS", "make_executor",
+    "MergePlan", "PlanDecision", "CommitEvents",
+    "ProfitBoundIndex",
     "Stage", "StageStats",
     "STAGES", "MergeRecord", "MergeReport",
     "SEARCHERS", "IndexedCandidateSearcher", "make_searcher",

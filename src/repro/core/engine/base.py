@@ -6,10 +6,17 @@ engine aggregates the per-stage numbers into the legacy Figure-13 buckets of
 :class:`~repro.core.engine.report.MergeReport` via each stage's
 ``legacy_stage`` attribute, while the fine-grained stats remain available for
 the stage microbenchmarks.
+
+Stats updates are lock-protected because the plan/commit scheduler runs the
+read-only stages concurrently under ``jobs>1``: counters and call counts
+stay exact for every job count.  Stage *seconds* measure per-call elapsed
+time summed over all planner threads - with a parallel planner that is
+total busy time across workers, which can exceed wall-clock time.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -23,9 +30,18 @@ class StageStats:
     seconds: float = 0.0
     calls: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def bump(self, counter: str, amount: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def account(self, seconds: float) -> None:
+        """Record one timed call (thread-safe)."""
+        with self._lock:
+            self.seconds += seconds
+            self.calls += 1
 
     def as_dict(self) -> Dict[str, float]:
         data: Dict[str, float] = {"seconds": self.seconds, "calls": float(self.calls)}
@@ -59,8 +75,7 @@ class Stage:
         try:
             return fn(*args, **kwargs)
         finally:
-            self.stats.seconds += time.perf_counter() - start
-            self.stats.calls += 1
+            self.stats.account(time.perf_counter() - start)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.stats.seconds * 1000:.2f}ms/{self.stats.calls}>"

@@ -10,13 +10,24 @@ Each stage is a small object (see :mod:`repro.core.engine.stages`) with its
 own statistics, and the hot stages are swappable: candidate search defaults
 to the inverted-index searcher (exact top-``t``, no O(N²) scan) and
 alignment defaults to the integer-key kernels (per-cell int compares instead
-of the structural equivalence predicate).  Merge *decisions* are identical to
-the original monolithic pass in every configuration; only the time spent
-reaching them changes.
+of the structural equivalence predicate).
+
+Since the plan/commit refactor the driver itself is split in two: every
+stage before commit is *read-only* and runs inside
+:meth:`MergeEngine.plan_entry`, which evaluates one worklist entry into an
+immutable :class:`~repro.core.engine.plan.MergePlan`; only
+:meth:`MergeEngine.commit_plan` mutates the module (incrementally - no full
+call-graph rebuilds).  The :class:`~repro.core.engine.scheduler.MergeScheduler`
+batches entries, plans them through a pluggable executor (``jobs=`` selects
+a thread pool) and commits serially with conflict detection.  Merge
+*decisions* are identical to the original monolithic pass in every
+configuration - searcher, kernel, job count, batch size - only the time
+spent reaching them changes.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Callable, Dict, List, Optional, Union
 
@@ -25,14 +36,26 @@ from ...ir.function import Function
 from ...ir.module import Module
 from ...targets.cost_model import TargetCostModel
 from ...targets.x86_64 import X86_64
-from ..codegen import CodegenError, MergeOptions, MergeResult
-from ..profitability import MergeEvaluation
+from ..codegen import CodegenError, MergeOptions
 from .base import Stage
+from .plan import CommitEvents, MergePlan, PlanDecision
+from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
+from .scheduler import MergeScheduler, make_executor
 from .search import make_searcher
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
                      PreprocessStage, ProfitabilityStage)
+
+
+def _default_jobs() -> int:
+    """Default planner parallelism, overridable via ``REPRO_ENGINE_JOBS``
+    (used by the CI matrix leg that runs the whole suite through the
+    parallel scheduler)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_ENGINE_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 class MergeEngine:
@@ -46,7 +69,12 @@ class MergeEngine:
                  hot_function_filter: Optional[Callable[[Function], bool]] = None,
                  minimum_function_size: int = 1,
                  searcher: Union[str, object] = "indexed",
-                 keyed_alignment: bool = True):
+                 keyed_alignment: bool = True,
+                 jobs: Optional[int] = None,
+                 executor: str = "auto",
+                 batch_size: Optional[int] = None,
+                 incremental_callgraph: bool = True,
+                 oracle_prune: bool = True):
         """Create the engine.
 
         Args:
@@ -55,7 +83,7 @@ class MergeEngine:
                 function before giving up (the paper's ``t``).
             oracle: evaluate *all* candidates and commit the best profitable
                 one - the exhaustive strategy the paper uses as an upper
-                bound (quadratic, very slow).
+                bound (quadratic; see ``oracle_prune``).
             options: code-generation options (also selects the alignment
                 algorithm and scoring scheme).
             allow_deletion: permit deleting originals whose call sites can
@@ -71,6 +99,20 @@ class MergeEngine:
                 ``clear()``; the engine clears it at the start of each run).
             keyed_alignment: use the integer-key alignment kernels (same
                 results as the predicate-based algorithms, much faster).
+            jobs: how many worklist entries to plan concurrently (default:
+                ``REPRO_ENGINE_JOBS`` or 1).  Merge decisions are identical
+                for every value.
+            executor: plan executor kind - ``"auto"`` (serial for jobs<=1,
+                thread pool otherwise), ``"serial"`` or ``"thread"``.
+            batch_size: worklist entries planned per batch (default: 1 for
+                the serial executor, ``jobs * 4`` otherwise).
+            incremental_callgraph: maintain the call graph incrementally
+                across commits (default).  ``False`` restores the seed's
+                rebuild-per-commit protocol, kept for benchmarking.
+            oracle_prune: in oracle mode, skip candidates whose profit
+                upper bound (see :class:`ProfitBoundIndex`) provably cannot
+                beat the best profitable merge found so far.  Decisions are
+                identical with pruning on or off.
         """
         self.target = target or X86_64
         self.exploration_threshold = max(1, exploration_threshold)
@@ -79,14 +121,21 @@ class MergeEngine:
         self.allow_deletion = allow_deletion
         self.hot_function_filter = hot_function_filter
         self.minimum_function_size = minimum_function_size
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        self.executor_kind = executor
+        self.batch_size = batch_size
+        self.incremental_callgraph = incremental_callgraph
+        self.oracle_prune = oracle_prune
 
         if isinstance(searcher, str):
             searcher = make_searcher(searcher,
                                      exploration_threshold=self.exploration_threshold)
         self.searcher = searcher
+        self.profit_bounds = (ProfitBoundIndex(self.target)
+                              if oracle and oracle_prune else None)
 
         self.preprocess = PreprocessStage()
-        self.fingerprint = FingerprintStage(searcher)
+        self.fingerprint = FingerprintStage(searcher, self.profit_bounds)
         self.candidate_search = CandidateSearchStage(searcher)
         self.linearize = LinearizeStage(self.options.traversal)
         self.alignment = AlignmentStage(self.options.scoring,
@@ -94,7 +143,8 @@ class MergeEngine:
                                         keyed=keyed_alignment)
         self.codegen = CodegenStage(self.options)
         self.profitability = ProfitabilityStage(self.target, allow_deletion)
-        self.commit = CommitStage(allow_deletion)
+        self.commit = CommitStage(allow_deletion,
+                                  incremental=incremental_callgraph)
 
         #: The pipeline, in execution order.
         self.stages: List[Stage] = [
@@ -102,6 +152,13 @@ class MergeEngine:
             self.linearize, self.alignment, self.codegen, self.profitability,
             self.commit,
         ]
+
+        # per-run state (set up by run(), consumed by plan/commit callbacks)
+        self._module: Optional[Module] = None
+        self._call_graph: Optional[CallGraph] = None
+        self._available: set = set()
+        self._worklist: deque = deque()
+        self._report: Optional[MergeReport] = None
 
     # -- helpers ---------------------------------------------------------------
     def _eligible(self, function: Function) -> bool:
@@ -123,14 +180,163 @@ class MergeEngine:
                 times[stage.legacy_stage] += stage.stats.seconds
         return times
 
+    # -- planning (read-only pipeline prefix) -----------------------------------
+    def plan_entry(self, name: str) -> Optional[MergePlan]:
+        """Evaluate one worklist entry without mutating the module.
+
+        Runs candidate search, linearization, alignment, code generation and
+        profitability for the entry's ranked candidates - stopping at the
+        first profitable one (or, under oracle, keeping the best of all) -
+        and packages the outcome as an immutable plan.  Returns ``None``
+        when the entry is stale (consumed or removed since it was enqueued).
+        Safe to call concurrently for distinct entries.
+        """
+        if name not in self._available:
+            return None
+        module = self._module
+        function1 = module.get_function(name)
+        if function1 is None:
+            return None
+
+        limit = 0 if self.oracle else self.exploration_threshold
+        candidates = self.candidate_search.query(name, limit)
+        plan = MergePlan(name=name, limit=limit, candidates=candidates)
+
+        best: Optional[PlanDecision] = None
+        for candidate in candidates:
+            if candidate.function_name not in self._available:
+                continue
+            function2 = module.get_function(candidate.function_name)
+            if function2 is None:
+                continue
+            if self.profit_bounds is not None and self.oracle:
+                floor = best.evaluation.delta if best is not None else 0
+                bound = self.profit_bounds.delta_bound(
+                    name, candidate.function_name, floor)
+                if bound is not None and bound <= floor:
+                    plan.candidates_pruned += 1
+                    continue
+            plan.candidates_evaluated += 1
+            plan.evaluated.append((name, candidate.function_name))
+
+            lin1 = self.linearize.get(function1)
+            lin2 = self.linearize.get(function2)
+            alignment = self.alignment.align_pair(lin1, lin2)
+            try:
+                result = self.codegen.generate(function1, function2, alignment)
+                evaluation = self.profitability.evaluate(result, self._call_graph)
+            except CodegenError:
+                plan.codegen_failures += 1
+                continue
+
+            if evaluation.profitable:
+                if self.oracle:
+                    if best is None or evaluation.delta > best.evaluation.delta:
+                        if best is not None:
+                            best.result.merged.drop_body()
+                        best = PlanDecision(candidate, result, evaluation)
+                    else:
+                        result.merged.drop_body()
+                    continue
+                best = PlanDecision(candidate, result, evaluation)
+                break
+            result.merged.drop_body()
+
+        plan.decision = best
+        return plan
+
+    def _query_key(self, name: str, limit: int) -> tuple:
+        """The current candidate ranking of ``name`` in comparable form
+        (the committer's fingerprint-change conflict check)."""
+        return tuple((c.function_name, c.score, c.position)
+                     for c in self.candidate_search.query(name, limit))
+
+    def _absorb_plan(self, plan: MergePlan) -> None:
+        report = self._report
+        report.candidates_evaluated += plan.candidates_evaluated
+        report.codegen_failures += plan.codegen_failures
+        report.candidates_pruned += plan.candidates_pruned
+
+    # -- commit (the only mutating step) ----------------------------------------
+    def commit_plan(self, plan: MergePlan) -> CommitEvents:
+        """Apply a plan's profitable merge and update all bookkeeping."""
+        decision = plan.decision
+        result, evaluation = decision.result, decision.evaluation
+        module, call_graph = self._module, self._call_graph
+        name1, name2 = result.function1.name, result.function2.name
+        size_before = evaluation.size_function1 + evaluation.size_function2
+        original_instruction_counts = (result.function1.instruction_count(),
+                                       result.function2.instruction_count())
+
+        # apply_merge rewrites the originals' call sites *inside their
+        # callers*, so those callers' cached linearizations - and the
+        # equivalence keys frozen into them - go stale too
+        for original in (result.function1, result.function2):
+            for caller in call_graph.callers_of(original):
+                self.linearize.invalidate(caller.name)
+
+        applied = self.commit.apply(module, result, call_graph)
+
+        for name in (name1, name2):
+            self._available.discard(name)
+            self.fingerprint.remove_function(name)
+            self.linearize.invalidate(name)
+
+        merged = result.merged
+        if self._eligible(merged):
+            self.fingerprint.add_function(merged)
+            self._available.add(merged.name)
+            self._worklist.append(merged.name)
+
+        # rewritten callers' bodies grew (wider call sites, converts); their
+        # profit bounds must track the live bodies or pruning turns unsound
+        self.fingerprint.refresh_profit_bounds(
+            [f for f in (module.get_function(n) for n in applied.rewritten_callers
+                         if n in self._available) if f is not None])
+
+        if not self.incremental_callgraph:
+            self.commit.rebuild(call_graph)
+
+        func_id = result.func_id
+        extra_ops = 0
+        if func_id is not None:
+            extra_ops = len([user for user in func_id.users
+                             if getattr(user, "parent", None) is not None])
+        extra_ops += applied.disposition.count("thunk")
+
+        self._report.merges.append(MergeRecord(
+            function1=name1, function2=name2, merged_name=applied.merged_name,
+            rank_position=decision.candidate.position, delta=evaluation.delta,
+            size_before=size_before,
+            size_after=evaluation.size_merged + evaluation.epsilon,
+            dispositions=list(applied.disposition),
+            original_sizes=original_instruction_counts,
+            merged_size=merged.instruction_count(),
+            extra_dynamic_ops=extra_ops))
+
+        return CommitEvents(
+            consumed=(name1, name2), merged_name=applied.merged_name,
+            rewritten_callers=tuple(applied.rewritten_callers),
+            touched_callees=tuple(applied.touched_callees))
+
     # -- main driver --------------------------------------------------------------
-    def run(self, module: Module) -> MergeReport:
+    def make_scheduler(self) -> MergeScheduler:
+        """Build the plan/commit scheduler for one run (call after run()'s
+        state setup; exposed so tests can hook ``on_commit``)."""
+        return MergeScheduler(
+            plan=self.plan_entry, commit=self.commit_plan,
+            query_key=self._query_key, absorb=self._absorb_plan,
+            executor=make_executor(self.executor_kind, self.jobs),
+            batch_size=self.batch_size)
+
+    def run(self, module: Module,
+            scheduler: Optional[MergeScheduler] = None) -> MergeReport:
         for stage in self.stages:
             stage.reset()
         self.linearize.clear()
         # the original pass built a fresh ranker per run(): a reused engine
         # must not rank against the previous module's fingerprints
-        self.searcher.clear()
+        self.fingerprint.clear()
         report = MergeReport()
 
         self.preprocess.run(module)
@@ -151,107 +357,26 @@ class MergeEngine:
         worklist = deque(sorted(available))
         report.functions_considered = len(available)
 
-        while worklist:
-            name = worklist.popleft()
-            if name not in available:
-                continue
-            function1 = module.get_function(name)
-            if function1 is None:
-                available.discard(name)
-                continue
+        self._module = module
+        self._call_graph = call_graph
+        self._available = available
+        self._worklist = worklist
+        self._report = report
 
-            limit = 0 if self.oracle else self.exploration_threshold
-            candidates = self.candidate_search.query(name, limit)
+        owns_scheduler = scheduler is None
+        if scheduler is None:
+            scheduler = self.make_scheduler()
+        try:
+            scheduler.run(worklist, available)
+        finally:
+            if owns_scheduler:
+                scheduler.close()
+            self._module = None
+            self._call_graph = None
+            self._report = None
 
-            best: Optional[tuple] = None
-            for candidate in candidates:
-                if candidate.function_name not in available:
-                    continue
-                function2 = module.get_function(candidate.function_name)
-                if function2 is None:
-                    continue
-                report.candidates_evaluated += 1
-
-                lin1 = self.linearize.get(function1)
-                lin2 = self.linearize.get(function2)
-                alignment = self.alignment.align_pair(lin1, lin2)
-                try:
-                    result = self.codegen.generate(function1, function2, alignment)
-                    evaluation = self.profitability.evaluate(result, call_graph)
-                except CodegenError:
-                    report.codegen_failures += 1
-                    continue
-
-                if evaluation.profitable:
-                    if self.oracle:
-                        if best is None or evaluation.delta > best[2].delta:
-                            if best is not None:
-                                best[1].merged.drop_body()
-                            best = (candidate, result, evaluation)
-                        else:
-                            result.merged.drop_body()
-                        continue
-                    best = (candidate, result, evaluation)
-                    break
-                result.merged.drop_body()
-
-            if best is None:
-                continue
-
-            candidate, result, evaluation = best
-            record = self._commit(module, call_graph, result, evaluation,
-                                  candidate.position, available, worklist)
-            report.merges.append(record)
-
+        report.stale_entries = scheduler.stats["stale_entries"]
+        report.scheduler_stats = dict(scheduler.stats)
         report.stage_times = self._legacy_stage_times()
         report.stage_stats = self.stage_stats()
         return report
-
-    def _commit(self, module: Module, call_graph: CallGraph,
-                result: MergeResult, evaluation: MergeEvaluation,
-                rank_position: int, available: set,
-                worklist: deque) -> MergeRecord:
-        """Apply a profitable merge and update all bookkeeping."""
-        name1, name2 = result.function1.name, result.function2.name
-        size_before = evaluation.size_function1 + evaluation.size_function2
-        original_instruction_counts = (result.function1.instruction_count(),
-                                       result.function2.instruction_count())
-
-        # apply_merge rewrites the originals' call sites *inside their
-        # callers*, so those callers' cached linearizations - and the
-        # equivalence keys frozen into them - go stale too
-        for original in (result.function1, result.function2):
-            for caller in call_graph.callers_of(original):
-                self.linearize.invalidate(caller.name)
-
-        applied = self.commit.apply(module, result, call_graph)
-
-        for name in (name1, name2):
-            available.discard(name)
-            self.fingerprint.remove_function(name)
-            self.linearize.invalidate(name)
-
-        merged = result.merged
-        if self._eligible(merged):
-            self.fingerprint.add_function(merged)
-            available.add(merged.name)
-            worklist.append(merged.name)
-
-        self.commit.rebuild(call_graph)
-
-        func_id = result.func_id
-        extra_ops = 0
-        if func_id is not None:
-            extra_ops = len([user for user in func_id.users
-                             if getattr(user, "parent", None) is not None])
-        extra_ops += applied.disposition.count("thunk")
-
-        return MergeRecord(
-            function1=name1, function2=name2, merged_name=applied.merged_name,
-            rank_position=rank_position, delta=evaluation.delta,
-            size_before=size_before,
-            size_after=evaluation.size_merged + evaluation.epsilon,
-            dispositions=list(applied.disposition),
-            original_sizes=original_instruction_counts,
-            merged_size=merged.instruction_count(),
-            extra_dynamic_ops=extra_ops)

@@ -47,6 +47,16 @@ class MergeReport:
     functions_considered: int = 0
     codegen_failures: int = 0
     excluded_hot_functions: int = 0
+    #: Candidates skipped by the oracle's profit-bound pruning (their best
+    #: case provably could not beat the best profitable merge found so far).
+    candidates_pruned: int = 0
+    #: Worklist entries whose function was consumed (or removed) between
+    #: enqueue and commit.  The seed engine silently skipped these; the
+    #: scheduler surfaces them so dropped work stays visible.
+    stale_entries: int = 0
+    #: Plan/commit scheduler counters: jobs, batch_size, batches, planned,
+    #: committed, conflicts, replans, stale_entries, wasted_evaluations.
+    scheduler_stats: Dict[str, int] = field(default_factory=dict)
     #: Fine-grained engine statistics, keyed by pipeline-stage name; each
     #: value holds at least ``seconds`` and ``calls`` plus stage-specific
     #: counters (e.g. candidates pruned, banded fallbacks).
@@ -73,4 +83,10 @@ class MergeReport:
         times = ", ".join(f"{stage}: {self.stage_times.get(stage, 0.0) * 1000:.1f}ms"
                           for stage in STAGES)
         lines.append(f"  stage times: {times}")
+        if self.scheduler_stats:
+            s = self.scheduler_stats
+            lines.append(
+                f"  scheduler: jobs={s.get('jobs', 1)} "
+                f"batches={s.get('batches', 0)} conflicts={s.get('conflicts', 0)} "
+                f"replans={s.get('replans', 0)} stale={s.get('stale_entries', 0)}")
         return "\n".join(lines)

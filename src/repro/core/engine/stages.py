@@ -10,6 +10,7 @@ driver loop in :class:`~repro.core.engine.engine.MergeEngine`.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 from ...ir.callgraph import CallGraph
@@ -41,25 +42,59 @@ class PreprocessStage(Stage):
 
 
 class FingerprintStage(Stage):
-    """Maintains the candidate searcher's fingerprint index."""
+    """Maintains the per-function summaries derived from fingerprints: the
+    candidate searcher's index and (in oracle mode) the profit-bound index.
+
+    Both react to the same invalidation events - a commit removes exactly the
+    two consumed originals and adds the merged function - so the commit path
+    never recomputes summaries of functions a merge did not touch.
+    """
 
     name = "fingerprint"
     legacy_stage = "fingerprinting"
 
-    def __init__(self, searcher):
+    def __init__(self, searcher, profit_bounds=None):
         super().__init__()
         self.searcher = searcher
+        self.profit_bounds = profit_bounds
+
+    def _add(self, functions: List[Function]) -> None:
+        self.searcher.add_functions(functions)
+        if self.profit_bounds is not None:
+            self.profit_bounds.add_functions(functions)
 
     def add_functions(self, functions: List[Function]) -> None:
         self.stats.bump("functions", len(functions))
-        self.timed(self.searcher.add_functions, functions)
+        self.timed(self._add, functions)
 
     def add_function(self, function: Function) -> None:
         self.stats.bump("functions")
-        self.timed(self.searcher.add_function, function)
+        self.timed(self._add, [function])
+
+    def _remove(self, name: str) -> None:
+        self.searcher.remove_function(name)
+        if self.profit_bounds is not None:
+            self.profit_bounds.remove_function(name)
 
     def remove_function(self, name: str) -> None:
-        self.timed(self.searcher.remove_function, name)
+        self.timed(self._remove, name)
+
+    def refresh_profit_bounds(self, functions: List[Function]) -> None:
+        """Recompute profit bounds for functions whose bodies a commit
+        rewrote (call sites widened, converts inserted - their costs grew).
+
+        Only the profit-bound index is refreshed: the searcher keeps the
+        historical behaviour of ranking rewritten callers by their original
+        fingerprints, and the profit bound must stay an upper bound on the
+        *live* bodies the profitability stage will actually cost.
+        """
+        if self.profit_bounds is not None and functions:
+            self.timed(self.profit_bounds.add_functions, functions)
+
+    def clear(self) -> None:
+        self.searcher.clear()
+        if self.profit_bounds is not None:
+            self.profit_bounds.clear()
 
 
 class CandidateSearchStage(Stage):
@@ -91,19 +126,24 @@ class LinearizeStage(Stage):
         self.traversal = traversal
         self.interner = EquivalenceKeyInterner()
         self._cache: Dict[str, LinearizedFunction] = {}
+        # planners may linearize concurrently; the interner's id assignment
+        # must stay race-free (keys only matter by equality, but a torn
+        # insert could hand two ids to one equivalence class)
+        self._lock = threading.Lock()
 
     def get(self, function: Function) -> LinearizedFunction:
         return self.timed(self._get, function)
 
     def _get(self, function: Function) -> LinearizedFunction:
-        cached = self._cache.get(function.name)
-        if cached is None:
-            cached = linearize_with_keys(function, self.traversal, self.interner)
-            self._cache[function.name] = cached
-            self.stats.bump("linearized")
-        else:
-            self.stats.bump("cache_hits")
-        return cached
+        with self._lock:
+            cached = self._cache.get(function.name)
+            if cached is None:
+                cached = linearize_with_keys(function, self.traversal, self.interner)
+                self._cache[function.name] = cached
+                self.stats.bump("linearized")
+            else:
+                self.stats.bump("cache_hits")
+            return cached
 
     def invalidate(self, name: str) -> None:
         self._cache.pop(name, None)
@@ -193,20 +233,27 @@ class ProfitabilityStage(Stage):
 
 
 class CommitStage(Stage):
-    """Applies a profitable merge to the module and updates the call graph."""
+    """Applies a profitable merge to the module and updates the call graph.
+
+    With ``incremental=True`` (the default) :func:`apply_merge` maintains the
+    call graph in place and no O(module) rebuilds happen; the legacy
+    rebuild-per-commit protocol remains selectable for benchmarking.
+    """
 
     name = "commit"
     legacy_stage = "updating_calls"
 
-    def __init__(self, allow_deletion: bool):
+    def __init__(self, allow_deletion: bool, incremental: bool = True):
         super().__init__()
         self.allow_deletion = allow_deletion
+        self.incremental = incremental
 
     def apply(self, module: Module, result: MergeResult,
               call_graph: CallGraph) -> AppliedMerge:
         self.stats.bump("merges")
         return self.timed(apply_merge, module, result, call_graph,
-                          self.allow_deletion)
+                          self.allow_deletion, self.incremental)
 
     def rebuild(self, call_graph: CallGraph) -> None:
+        self.stats.bump("rebuilds")
         self.timed(call_graph.rebuild)

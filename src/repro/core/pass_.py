@@ -44,7 +44,12 @@ class FunctionMergingPass(Pass):
                  hot_function_filter: Optional[Callable[[Function], bool]] = None,
                  minimum_function_size: int = 1,
                  searcher: Union[str, object] = "indexed",
-                 keyed_alignment: bool = True):
+                 keyed_alignment: bool = True,
+                 jobs: Optional[int] = None,
+                 executor: str = "auto",
+                 batch_size: Optional[int] = None,
+                 incremental_callgraph: bool = True,
+                 oracle_prune: bool = True):
         """Create the pass.
 
         Args:
@@ -66,13 +71,24 @@ class FunctionMergingPass(Pass):
                 or a searcher instance); all yield identical rankings.
             keyed_alignment: use the fast integer-key alignment kernels
                 (identical alignments, fewer predicate evaluations).
+            jobs / executor / batch_size: plan/commit scheduler knobs - how
+                many worklist entries are planned concurrently and in what
+                batches (see :class:`repro.core.engine.MergeScheduler`).
+                Merge decisions are identical for every setting.
+            incremental_callgraph: maintain the call graph incrementally
+                across commits instead of rebuilding it (default True).
+            oracle_prune: skip provably unprofitable candidates in oracle
+                mode using the profit-bound index (default True).
         """
         self.engine = MergeEngine(
             target=target, exploration_threshold=exploration_threshold,
             oracle=oracle, options=options, allow_deletion=allow_deletion,
             hot_function_filter=hot_function_filter,
             minimum_function_size=minimum_function_size,
-            searcher=searcher, keyed_alignment=keyed_alignment)
+            searcher=searcher, keyed_alignment=keyed_alignment,
+            jobs=jobs, executor=executor, batch_size=batch_size,
+            incremental_callgraph=incremental_callgraph,
+            oracle_prune=oracle_prune)
 
     # -- facade properties (historical public attributes) -----------------------
     @property

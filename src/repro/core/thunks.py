@@ -5,6 +5,16 @@ originals are replaced by a single call to it (a *thunk*).  When it is valid
 to do so - internal linkage and no address-taken uses - the originals are
 deleted entirely and every direct call site is remapped to the merged
 function instead (Section III-A and IV of the paper).
+
+``apply_merge`` maintains the caller-provided :class:`CallGraph`
+*incrementally*: the merged function is registered, rewritten call sites are
+swapped edge by edge, and consumed bodies are unregistered before they are
+dropped - no O(module) ``rebuild()`` scans.  The returned
+:class:`AppliedMerge` records exactly which functions the commit touched
+(``rewritten_callers``, ``touched_callees``), which is what the plan/commit
+scheduler uses to detect conflicts between concurrently planned merges.
+Passing ``incremental=False`` restores the historical rebuild-based protocol
+(the seed behaviour, kept for benchmarking the difference).
 """
 
 from __future__ import annotations
@@ -33,6 +43,13 @@ class AppliedMerge:
     #: or "thunk" (body replaced by a single call to the merged function).
     disposition: List[str] = field(default_factory=list)
     updated_call_sites: int = 0
+    #: Functions whose bodies were rewritten because they contained direct
+    #: call sites of a deleted original (their linearizations and
+    #: fingerprints are stale after this commit).
+    rewritten_callers: List[str] = field(default_factory=list)
+    #: Functions called by either original: their caller sets / direct call
+    #: sites changed (old bodies dropped, clones live in the merged function).
+    touched_callees: List[str] = field(default_factory=list)
 
 
 def build_thunk(original: Function, result: MergeResult) -> None:
@@ -85,12 +102,21 @@ def _replace_call_site(site: Instruction, original: Function,
 
 def apply_merge(module: Module, result: MergeResult,
                 call_graph: Optional[CallGraph] = None,
-                allow_deletion: bool = True) -> AppliedMerge:
+                allow_deletion: bool = True,
+                incremental: bool = True) -> AppliedMerge:
     """Commit a merge into ``module``.
 
     The merged function is added to the module; each original either becomes
     a thunk or - when deletion is safe and ``allow_deletion`` holds - has all
     of its direct call sites redirected and is removed from the module.
+
+    With ``incremental=True`` (the default) ``call_graph`` must be accurate
+    for the current module state; it is updated in place as the commit
+    mutates the module and is exactly equal to a from-scratch rebuild when
+    ``apply_merge`` returns.  With ``incremental=False`` the historical
+    protocol is used instead: the graph is fully rebuilt before each
+    original's call sites are queried (and the caller is expected to rebuild
+    again afterwards), which tolerates a stale input graph.
     """
     graph = call_graph or CallGraph(module)
     merged = result.merged
@@ -99,22 +125,46 @@ def apply_merge(module: Module, result: MergeResult,
     module.add_function(merged)
 
     record = AppliedMerge(merged_name, result.function1.name, result.function2.name)
+    touched = set()
+    for original in (result.function1, result.function2):
+        touched.update(graph.callees.get(original.name, ()))
+    record.touched_callees = sorted(touched)
+
+    if incremental:
+        graph.add_function(merged)
+    rewritten = set()
 
     for original in (result.function1, result.function2):
-        graph.rebuild()
+        if not incremental:
+            graph.rebuild()
         sites = graph.direct_call_sites(original)
         deletable = (allow_deletion and original.can_be_deleted()
                      and not graph.is_address_taken(original))
         if deletable:
             for site in sites:
-                _replace_call_site(site, original, result)
+                caller = site.parent.parent if site.parent is not None else None
+                if incremental and caller is not None:
+                    # before the rewrite: erasing the site drops its operands
+                    graph.unregister_instruction(caller.name, site)
+                new_site = _replace_call_site(site, original, result)
+                if incremental and caller is not None:
+                    graph.register_instruction(caller.name, new_site)
+                if caller is not None:
+                    rewritten.add(caller.name)
                 record.updated_call_sites += 1
             if not original.users:
+                if incremental:
+                    graph.remove_function(original)
                 module.remove_function(original)
                 record.disposition.append("deleted")
                 continue
             # a stray non-call reference appeared: fall back to a thunk
+        if incremental:
+            graph.unregister_body(original)
         build_thunk(original, result)
+        if incremental:
+            graph.register_body(original)
         record.disposition.append("thunk")
 
+    record.rewritten_callers = sorted(rewritten)
     return record

@@ -57,6 +57,9 @@ class EvaluationSettings:
     #: optimized engine instead (benchmarks/bench_engine_stages.py does).
     searcher: str = "linear"
     keyed_alignment: bool = False
+    #: Plan/commit scheduler parallelism (None = engine default); identical
+    #: merge decisions for every value.
+    jobs: Optional[int] = None
 
 
 @dataclass
@@ -146,7 +149,8 @@ def evaluate_suite(settings: Optional[EvaluationSettings] = None,
                     oracle=config.get("oracle", False),
                     exclude_hot=config.get("exclude_hot", False),
                     searcher=settings.searcher,
-                    keyed_alignment=settings.keyed_alignment)
+                    keyed_alignment=settings.keyed_alignment,
+                    jobs=settings.jobs)
                 result.technique = _config_label(config)
                 evaluation.results[(benchmark, target, result.technique)] = result
     return evaluation

@@ -168,7 +168,8 @@ def compile_module(module: Module, technique: str, *,
                    merge_options: Optional[MergeOptions] = None,
                    run_identical_first: bool = True,
                    searcher: str = "indexed",
-                   keyed_alignment: bool = True) -> CompilationResult:
+                   keyed_alignment: bool = True,
+                   jobs: Optional[int] = None) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
     ``technique`` is one of ``"baseline"``, ``"identical"``, ``"soa"`` or
@@ -176,10 +177,11 @@ def compile_module(module: Module, technique: str, *,
     compare techniques must regenerate the module per configuration (the
     workload generators are deterministic, so this is cheap and exact).
 
-    ``searcher`` and ``keyed_alignment`` select the merge engine's
-    candidate-search and alignment-kernel strategies; every choice produces
-    identical merge decisions and only changes the stage timings (the knob
-    the engine microbenchmark sweeps).
+    ``searcher``, ``keyed_alignment`` and ``jobs`` select the merge engine's
+    candidate-search / alignment-kernel strategies and the plan/commit
+    scheduler's parallelism; every choice produces identical merge decisions
+    and only changes the stage timings (the knobs the engine
+    microbenchmarks sweep).
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -218,7 +220,8 @@ def compile_module(module: Module, technique: str, *,
                 target=cost_model, exploration_threshold=threshold, oracle=oracle,
                 options=merge_options or MergeOptions(),
                 hot_function_filter=hot_filter,
-                searcher=searcher, keyed_alignment=keyed_alignment)
+                searcher=searcher, keyed_alignment=keyed_alignment,
+                jobs=jobs)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times
