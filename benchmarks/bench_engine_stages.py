@@ -14,6 +14,15 @@ settings, recording wall clocks, the commit-stage share, and the scheduler's
 conflict/requeue/stale rates.  All configurations must reach bit-identical
 merge decisions.
 
+Part three (``BENCH_alignment.json``) compares the alignment kernels -
+predicate-based python, integer-keyed, keyed banded, and (when the ``fast``
+extra is installed) the vectorized NumPy backends - across three workload
+sizes (small / medium / large function bodies), reporting per-kernel
+alignment-stage seconds, the requested DP area (n*m per aligned pair -
+kernel-independent by construction; banded kernels and cache hits compute
+only a fraction of it) and the content-addressed alignment cache's hit
+rate.  Decisions must again be bit-identical.
+
 Run directly (the CI smoke job does)::
 
     PYTHONPATH=src REPRO_BENCH_SCALE=0.01 python benchmarks/bench_engine_stages.py
@@ -25,7 +34,8 @@ or through pytest::
 Knobs: ``REPRO_BENCH_SCALE`` scales the function population (default 0.01;
 the scheduler bench uses ``REPRO_BENCH_SCHED_SCALE``, default 4x that),
 ``REPRO_BENCH_REPEATS`` the repetitions per configuration (default 3, best
-run wins), ``REPRO_BENCH_OUT`` / ``REPRO_BENCH_SCHED_OUT`` the output paths.
+run wins), ``REPRO_BENCH_OUT`` / ``REPRO_BENCH_SCHED_OUT`` /
+``REPRO_BENCH_ALIGN_OUT`` the output paths.
 """
 
 import json
@@ -38,7 +48,7 @@ _SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.core import FunctionMergingPass, MergeOptions  # noqa: E402
+from repro.core import FunctionMergingPass, numpy_available  # noqa: E402
 from repro.ir.module import Module  # noqa: E402
 from repro.workloads import FamilySpec, FunctionSpec, make_family  # noqa: E402
 
@@ -56,14 +66,20 @@ BENCH_REPEATS = _env_number("REPRO_BENCH_REPEATS", 3, int)
 BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_engine.json")
 SCHED_SCALE = _env_number("REPRO_BENCH_SCHED_SCALE", BENCH_SCALE * 4)
 SCHED_OUT = os.environ.get("REPRO_BENCH_SCHED_OUT", "BENCH_scheduler.json")
+ALIGN_OUT = os.environ.get("REPRO_BENCH_ALIGN_OUT", "BENCH_alignment.json")
 
 #: Configurations compared by the benchmark.  "seed" reproduces the
 #: pre-engine implementation's strategies; "engine" is the default pipeline.
+#: Each config pins its alignment_kernel explicitly so an ambient
+#: REPRO_ALIGN_KERNEL (e.g. the CI numpy matrix leg) cannot silently
+#: override the strategy being measured.
 CONFIGS = {
-    "seed": dict(searcher="linear", keyed_alignment=False),
-    "engine": dict(searcher="indexed", keyed_alignment=True),
+    "seed": dict(searcher="linear", keyed_alignment=False,
+                 alignment_kernel="needleman-wunsch"),
+    "engine": dict(searcher="indexed", keyed_alignment=True,
+                   alignment_kernel="needleman-wunsch"),
     "engine-banded": dict(searcher="indexed", keyed_alignment=True,
-                          options=MergeOptions(alignment_algorithm="nw-banded")),
+                          alignment_kernel="nw-banded"),
 }
 
 
@@ -90,18 +106,35 @@ def _decisions(report):
             for m in report.merges]
 
 
+def _cache_summary(report) -> dict:
+    """Alignment-cache counters of one run (zeros when the cache is off)."""
+    stats = report.scheduler_stats
+    hits = stats.get("align_cache_hits", 0)
+    misses = stats.get("align_cache_misses", 0)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+        "bytes": stats.get("align_cache_bytes", 0),
+    }
+
+
 def run_config(name: str, scale: float, repeats: int) -> dict:
     """Best-of-``repeats`` stage timings for one configuration."""
     kwargs = CONFIGS[name]
     best = None
     for _ in range(max(1, repeats)):
         module = build_population(scale)
+        fmsa = FunctionMergingPass(exploration_threshold=2, **kwargs)
         start = time.perf_counter()
-        report = FunctionMergingPass(exploration_threshold=2, **kwargs).run(module)
+        report = fmsa.run(module)
         wall = time.perf_counter() - start
         if best is None or wall < best["wall_seconds"]:
             best = {
                 "wall_seconds": wall,
+                "kernel": fmsa.engine.alignment.algorithm,
+                "align_cache": _cache_summary(report),
                 "stage_times": dict(report.stage_times),
                 "stage_stats": report.stage_stats,
                 "merges": report.merge_count,
@@ -162,6 +195,11 @@ def emit(payload: dict, path: str = BENCH_OUT) -> None:
     for stage, ratio in sorted(payload["stage_speedup_seed_vs_engine"].items()):
         if ratio is not None:
             print(f"  {stage:<15} {ratio:5.2f}x")
+    for name, config in sorted(payload["configs"].items()):
+        cache = config["align_cache"]
+        print(f"  {name:<15} kernel={config['kernel']} "
+              f"cache hit-rate {cache['hit_rate']:.0%} "
+              f"({cache['hits']}/{cache['hits'] + cache['misses']})")
     print(f"  ranking+alignment speedup: {hot:.2f}x, "
           f"wall: {payload['wall_speedup']:.2f}x -> {path}")
 
@@ -281,6 +319,152 @@ def test_scheduler_bench():
     assert payload["wall_speedup_vs_rebuild"]["jobs2"] > 1.0
 
 
+# ---------------------------------------------------------------------------
+# Alignment-kernel comparison (BENCH_alignment.json)
+# ---------------------------------------------------------------------------
+
+#: Kernel configurations: predicate-based python (the seed aligner), the
+#: integer-keyed kernels, and - when the ``fast`` extra is installed - the
+#: vectorized NumPy backends.  All must reach identical merge decisions.
+ALIGN_CONFIGS = {
+    "python": dict(keyed_alignment=False,
+                   alignment_kernel="needleman-wunsch"),
+    "keyed": dict(alignment_kernel="needleman-wunsch"),
+    "keyed-banded": dict(alignment_kernel="nw-banded"),
+}
+if numpy_available():
+    ALIGN_CONFIGS["numpy"] = dict(alignment_kernel="nw-numpy")
+    ALIGN_CONFIGS["numpy-banded"] = dict(alignment_kernel="nw-banded-numpy")
+
+#: Workload sizes: function-body shapes from small (the engine-bench shape)
+#: to large (hundreds of linearized entries, where the DP dominates).
+ALIGN_SIZES = {
+    "small": dict(families=40, num_blocks=3, instructions_per_block=8),
+    "medium": dict(families=16, num_blocks=3, instructions_per_block=24),
+    "large": dict(families=6, num_blocks=4, instructions_per_block=56),
+}
+
+
+def build_alignment_population(size: str, scale: float) -> Module:
+    """Deterministic population of one size class, scaled like the rest of
+    the benches (``scale`` is relative to the default 0.01)."""
+    shape = ALIGN_SIZES[size]
+    module = Module(f"bench_align_{size}")
+    rng = random.Random(4321)
+    families = max(2, int(round(shape["families"] * scale / 0.01)))
+    for index in range(families):
+        spec = FunctionSpec(
+            f"{size}{index}",
+            num_blocks=shape["num_blocks"],
+            instructions_per_block=shape["instructions_per_block"],
+            call_ratio=0.15, memory_ratio=0.2,
+            returns_float=bool(index % 5 == 1),
+            seed=500 + index)
+        make_family(module, spec,
+                    FamilySpec(identical=1, structural=2, partial=1), rng)
+    return module
+
+
+def run_alignment_config(name: str, size: str, scale: float,
+                         repeats: int) -> dict:
+    kwargs = ALIGN_CONFIGS[name]
+    best = None
+    for _ in range(max(1, repeats)):
+        module = build_alignment_population(size, scale)
+        function_count = len(list(module.defined_functions()))
+        fmsa = FunctionMergingPass(exploration_threshold=2, **kwargs)
+        start = time.perf_counter()
+        report = fmsa.run(module)
+        wall = time.perf_counter() - start
+        align_stats = report.stage_stats.get("align", {})
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "wall_seconds": wall,
+                "functions": function_count,
+                "kernel": fmsa.engine.alignment.algorithm,
+                "keyed": bool(kwargs.get("keyed_alignment", True)),
+                "alignment_seconds": report.stage_times.get("alignment", 0.0),
+                # full n*m area of every requested pair, cache hits
+                # included - a workload-size measure, not cells computed
+                "requested_cells": align_stats.get("cells", 0.0),
+                "alignments": align_stats.get("calls", 0.0),
+                "align_cache": _cache_summary(report),
+                "merges": report.merge_count,
+                "decisions": _decisions(report),
+            }
+    return best
+
+
+def run_alignment_bench(scale: float = BENCH_SCALE,
+                        repeats: int = BENCH_REPEATS) -> dict:
+    sizes = {}
+    for size in ALIGN_SIZES:
+        results = {name: run_alignment_config(name, size, scale, repeats)
+                   for name in ALIGN_CONFIGS}
+        reference = results["python"]["decisions"]
+        for name, result in results.items():
+            if result["decisions"] != reference:
+                raise AssertionError(
+                    f"alignment kernel {name!r} changed merge decisions on "
+                    f"the {size} workload")
+        python_seconds = results["python"]["alignment_seconds"]
+        sizes[size] = {
+            "functions": results["python"]["functions"],
+            "configs": {name: {k: v for k, v in result.items()
+                               if k != "decisions"}
+                        for name, result in results.items()},
+            "alignment_speedup_vs_python": {
+                name: (python_seconds / result["alignment_seconds"]
+                       if result["alignment_seconds"] else None)
+                for name, result in results.items()},
+        }
+    fastest = ALIGN_CONFIGS.keys() - {"python"}
+    best_name, best_ratio = None, None
+    for name in fastest:
+        ratio = sizes["large"]["alignment_speedup_vs_python"][name]
+        if ratio is not None and (best_ratio is None or ratio > best_ratio):
+            best_name, best_ratio = name, ratio
+    return {
+        "benchmark": "alignment_kernels",
+        "scale": scale,
+        "repeats": repeats,
+        "numpy_available": numpy_available(),
+        "sizes": sizes,
+        "best_kernel_on_large": best_name,
+        "alignment_stage_speedup": best_ratio,
+    }
+
+
+def emit_alignment(payload: dict, path: str = ALIGN_OUT) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"alignment kernel bench (numpy={payload['numpy_available']})")
+    for size, data in payload["sizes"].items():
+        print(f"  [{size}] {data['functions']} functions")
+        for name, ratio in sorted(data["alignment_speedup_vs_python"].items()):
+            config = data["configs"][name]
+            cache = config["align_cache"]
+            shown = f"{ratio:5.2f}x" if ratio is not None else "  n/a"
+            print(f"    {name:<13} kernel={config['kernel']:<17} "
+                  f"align {shown} vs python, cache hit-rate "
+                  f"{cache['hit_rate']:.0%}")
+    print(f"  best large-workload kernel: {payload['best_kernel_on_large']} "
+          f"({payload['alignment_stage_speedup']:.2f}x) -> {path}")
+
+
+def test_alignment_kernel_bench():
+    """Pytest entry point: identical decisions across kernels, cache hit
+    rate reported, and the fast path at least 3x the predicate aligner on
+    the large workload (the ISSUE's acceptance tripwire)."""
+    payload = run_alignment_bench()
+    emit_alignment(payload)
+    for size in payload["sizes"].values():
+        for config in size["configs"].values():
+            assert "hit_rate" in config["align_cache"]
+    assert payload["alignment_stage_speedup"] > 3.0
+
+
 if __name__ == "__main__":
     emit(run_bench())
     emit_scheduler(run_scheduler_bench())
+    emit_alignment(run_alignment_bench())

@@ -15,4 +15,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # the core stays dependency-free; the "fast" extra enables the
+    # vectorized NumPy alignment backend (nw-numpy / nw-banded-numpy)
+    extras_require={"fast": ["numpy"]},
 )

@@ -14,19 +14,24 @@ Public API:
 * :func:`apply_merge` — commit a merge into a module (thunks / call updates).
 """
 
+from .align_np import (needleman_wunsch_banded_numpy,
+                       needleman_wunsch_banded_numpy_keyed,
+                       needleman_wunsch_numpy, needleman_wunsch_numpy_keyed,
+                       numpy_available)
 from .alignment import (AlignedEntry, AlignmentResult, ScoringScheme, align,
                         hirschberg, needleman_wunsch, needleman_wunsch_banded,
                         needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
 from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
                       MergeResult, merge_functions, merge_parameter_lists,
                       merge_return_types)
-from .engine import (IndexedCandidateSearcher, MergeEngine, Stage, StageStats,
-                     make_searcher)
+from .engine import (AlignmentCache, IndexedCandidateSearcher, MergeEngine,
+                     Stage, StageStats, make_searcher)
 from .equivalence import (EquivalenceKeyInterner, entries_equivalent,
                           entry_equivalence_key, instructions_equivalent,
                           labels_equivalent, type_equivalence_key,
                           types_equivalent)
-from .fingerprint import Fingerprint, fingerprint_module, similarity
+from .fingerprint import (Fingerprint, FingerprintDelta, fingerprint_module,
+                          similarity)
 from .linearizer import (LinearEntry, LinearizedFunction, linearize,
                          linearize_with_keys, sequence_signature)
 from .pass_ import (FunctionMergingPass, MergeRecord, MergeReport, STAGES,
@@ -39,6 +44,9 @@ __all__ = [
     "AlignedEntry", "AlignmentResult", "ScoringScheme", "align", "hirschberg",
     "needleman_wunsch", "needleman_wunsch_banded",
     "needleman_wunsch_banded_keyed", "needleman_wunsch_keyed",
+    "needleman_wunsch_numpy", "needleman_wunsch_numpy_keyed",
+    "needleman_wunsch_banded_numpy", "needleman_wunsch_banded_numpy_keyed",
+    "numpy_available", "AlignmentCache",
     "CodegenError", "MergeCodeGenerator", "MergeOptions", "MergeResult",
     "merge_functions", "merge_parameter_lists", "merge_return_types",
     "IndexedCandidateSearcher", "MergeEngine", "Stage", "StageStats",
@@ -46,7 +54,7 @@ __all__ = [
     "EquivalenceKeyInterner", "entries_equivalent", "entry_equivalence_key",
     "instructions_equivalent", "labels_equivalent", "type_equivalence_key",
     "types_equivalent",
-    "Fingerprint", "fingerprint_module", "similarity",
+    "Fingerprint", "FingerprintDelta", "fingerprint_module", "similarity",
     "LinearEntry", "LinearizedFunction", "linearize", "linearize_with_keys",
     "sequence_signature",
     "FunctionMergingPass", "MergeRecord", "MergeReport", "STAGES",

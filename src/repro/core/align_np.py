@@ -1,0 +1,316 @@
+"""NumPy-vectorized Needleman-Wunsch kernels (the wavefront backend).
+
+The pure-Python kernels in :mod:`repro.core.alignment` fill the DP matrix
+one cell at a time.  Scores in a Needleman-Wunsch row depend on the previous
+row (diagonal and up moves) and, within the row, only through runs of gap
+moves - so a whole row can be computed with three vectorized steps:
+
+1. ``cand = max(prev[:-1] + sub, prev[1:] + gap)`` - the diagonal and up
+   moves, elementwise over the row;
+2. the in-row gap closure ``row[j] = max_{k <= j} cand[k] + (j - k) * gap``,
+   which is a running maximum of ``cand - j*gap`` (``np.maximum.accumulate``)
+   shifted back by ``+ j*gap``;
+3. nothing else - step 2 already includes ``k = j`` (no gap moves).
+
+Equivalence comes in as a boolean matrix: ``np.equal.outer`` over the
+precomputed integer equivalence keys (see :mod:`repro.core.equivalence`) for
+the keyed kernels, or predicate evaluations for the generic front door.  The
+traceback then runs over the finished matrix **reusing the pure-Python
+traceback routines**, so entries and tie-breaking are bit-identical to
+:func:`~repro.core.alignment.needleman_wunsch` by construction - the fill
+computes the same integers, the traceback walks them with the same move
+preference (diagonal, then seq1 gap, then seq2 gap).
+
+The banded variants mirror :func:`~repro.core.alignment._try_banded` exactly
+(same band geometry, same optimality certificate, same fallback), with each
+band row filled by the vectorized recurrence above.
+
+NumPy is an optional dependency (the ``fast`` extra).  Importing this module
+never imports NumPy; the kernels import it lazily on first use and raise an
+:class:`ImportError` naming the extra when it is missing.  Callers that want
+a silent downgrade instead (e.g. the ``REPRO_ALIGN_KERNEL`` environment
+knob) can test :func:`numpy_available` first - the engine's
+``AlignmentStage`` does exactly that.
+
+A practical note on when the vectorized kernels pay off: each row costs a
+handful of NumPy calls, so for tiny sequences (tens of entries) the
+per-call overhead can eat the win; for the hundreds-of-entries functions
+where alignment time actually hurts, the O(m)-wide vector operations beat
+the pure-Python inner loop by an order of magnitude.  As a bonus the fill
+spends its time inside NumPy ufuncs, which release the GIL - the plan/commit
+scheduler's thread executor can genuinely overlap alignments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TypeVar
+
+from .alignment import (AlignmentResult, EquivalenceFn, ScoringScheme,
+                        _banded_traceback, _default_equivalence, _traceback,
+                        derive_band_margin, needleman_wunsch_keyed,
+                        DEFAULT_BAND_MARGIN, _NEG)
+
+T = TypeVar("T")
+
+#: Kernel names served by this module.
+NUMPY_KERNELS = ("nw-numpy", "nw-banded-numpy")
+
+#: Pure-Python algorithm each NumPy kernel downgrades to (identical results).
+PURE_PYTHON_FALLBACKS = {
+    "nw-numpy": "needleman-wunsch",
+    "nw-banded-numpy": "nw-banded",
+}
+
+_numpy = None  # unresolved; False once an import attempt failed
+
+
+def _import_numpy():
+    """Import NumPy once, caching the failure as well as the success."""
+    global _numpy
+    if _numpy is None:
+        try:
+            import numpy
+        except ImportError:
+            _numpy = False
+        else:
+            _numpy = numpy
+    return _numpy if _numpy else None
+
+
+def numpy_available() -> bool:
+    """True when the NumPy backend can actually run."""
+    return _import_numpy() is not None
+
+
+def require_numpy(kernel: str):
+    """Return the NumPy module or raise an ImportError naming the extra."""
+    np = _import_numpy()
+    if np is None:
+        raise ImportError(
+            f"alignment kernel {kernel!r} requires NumPy, which is not "
+            f"installed; install the 'fast' extra (pip install repro[fast]) "
+            f"or select a pure-Python kernel such as "
+            f"{PURE_PYTHON_FALLBACKS.get(kernel, 'needleman-wunsch')!r}")
+    return np
+
+
+# ---------------------------------------------------------------------------
+# Full-matrix fill
+# ---------------------------------------------------------------------------
+
+def _nw_fill_numpy(np, n: int, m: int, eq, scoring: ScoringScheme):
+    """Vectorized NW fill: same (n+1)x(m+1) int matrix as ``_nw_fill``.
+
+    ``eq`` is an (n, m) boolean array.  Works row by row; every row is three
+    ufunc calls plus the gap-closure scan described in the module docstring.
+    """
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    score = np.empty((n + 1, m + 1), dtype=np.int64)
+    gj = np.arange(m + 1, dtype=np.int64) * gap
+    score[0] = gj
+    sub = np.where(eq, np.int64(match), np.int64(mismatch))
+    for i in range(1, n + 1):
+        prev = score[i - 1]
+        row = score[i]
+        # diagonal and up moves
+        np.add(prev[:m], sub[i - 1], out=row[1:])
+        np.maximum(row[1:], prev[1:] + gap, out=row[1:])
+        row[0] = i * gap
+        # in-row gap closure: row[j] = gj[j] + cummax(row - gj)[j]
+        np.subtract(row, gj, out=row)
+        np.maximum.accumulate(row, out=row)
+        np.add(row, gj, out=row)
+    return score
+
+
+def _int_keys(np, keys: Sequence[int]):
+    """Keys as an int64 array, or None when they do not fit (falls back to
+    the pure-Python kernel; interned keys always fit in practice)."""
+    try:
+        arr = np.asarray(keys if isinstance(keys, (list, tuple)) else list(keys),
+                         dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    return arr
+
+
+def needleman_wunsch_numpy_keyed(seq1: Sequence[T], seq2: Sequence[T],
+                                 keys1: Sequence[int], keys2: Sequence[int],
+                                 scoring: ScoringScheme = ScoringScheme()
+                                 ) -> AlignmentResult[T]:
+    """Vectorized NW over integer equivalence keys; identical entries and
+    score to :func:`~repro.core.alignment.needleman_wunsch_keyed`."""
+    np = require_numpy("nw-numpy")
+    k1 = _int_keys(np, keys1)
+    k2 = _int_keys(np, keys2)
+    if k1 is None or k2 is None:
+        return needleman_wunsch_keyed(seq1, seq2, keys1, keys2, scoring)
+    n, m = len(seq1), len(seq2)
+    eq = np.equal.outer(k1, k2)
+    score = _nw_fill_numpy(np, n, m, eq, scoring)
+    entries = _traceback(seq1, seq2, score, eq, scoring)
+    return AlignmentResult(entries, int(score[n][m]))
+
+
+def needleman_wunsch_numpy(seq1: Sequence[T], seq2: Sequence[T],
+                           equivalent: EquivalenceFn = _default_equivalence,
+                           scoring: ScoringScheme = ScoringScheme()
+                           ) -> AlignmentResult[T]:
+    """Vectorized NW behind the generic predicate interface.
+
+    The predicate is still evaluated n*m times (same as the pure kernel);
+    only the DP arithmetic is vectorized.  Prefer the keyed variant, which
+    replaces the predicate sweep with one ``np.equal.outer``.
+    """
+    np = require_numpy("nw-numpy")
+    n, m = len(seq1), len(seq2)
+    eq = np.empty((n, m), dtype=bool)
+    for i in range(n):
+        a = seq1[i]
+        eq[i] = [equivalent(a, b) for b in seq2]
+    score = _nw_fill_numpy(np, n, m, eq, scoring)
+    entries = _traceback(seq1, seq2, score, eq, scoring)
+    return AlignmentResult(entries, int(score[n][m]))
+
+
+# ---------------------------------------------------------------------------
+# Banded fill (same certificate as the pure-Python banded kernel)
+# ---------------------------------------------------------------------------
+
+def _gather(np, arr, idx):
+    """``arr[idx]`` with out-of-range positions replaced by -inf."""
+    out = np.full(idx.shape, _NEG)
+    valid = (idx >= 0) & (idx < arr.shape[0])
+    if valid.any():
+        out[valid] = arr[idx[valid]]
+    return out
+
+
+def _banded_fill_numpy(np, n: int, m: int, lo: int, hi: int, eq_row_fn,
+                       scoring: ScoringScheme) -> list:
+    """Vectorized version of ``_banded_fill``: one (jlo, values) pair per
+    row, with ``values`` a float64 array using -inf for unreachable cells.
+
+    ``eq_row_fn(i, js)`` returns the boolean equivalence of ``seq1[i]``
+    against ``seq2[j - 1]`` for the column vector ``js`` (positions where
+    ``j == 0`` may hold garbage - their diagonal source is -inf anyway).
+    """
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    rows: list = []
+    for i in range(n + 1):
+        jlo, jhi = max(0, i + lo), min(m, i + hi)
+        js = np.arange(jlo, jhi + 1, dtype=np.int64)
+        if i == 0:
+            values = js.astype(np.float64) * gap
+        else:
+            prev_jlo, prev_values = rows[i - 1]
+            diag = _gather(np, prev_values, js - 1 - prev_jlo)
+            up = _gather(np, prev_values, js - prev_jlo)
+            sub = np.where(eq_row_fn(i - 1, js), float(match), float(mismatch))
+            cand = np.maximum(diag + sub, up + gap)
+            # in-row gap closure over the band window (the out-of-window
+            # left neighbour is unreachable, exactly as in _banded_fill)
+            gjs = js.astype(np.float64) * gap
+            values = np.maximum.accumulate(cand - gjs) + gjs
+        rows.append((jlo, values))
+    return rows
+
+
+def _try_banded_numpy(np, seq1: Sequence[T], seq2: Sequence[T], eq_row_fn,
+                      eq, scoring: ScoringScheme,
+                      margin: int) -> Optional[AlignmentResult[T]]:
+    """Banded DP + optimality certificate, mirroring ``_try_banded``'s
+    geometry and escape bound cell for cell.  Returns None when the
+    certificate fails and the caller must fall back to the full DP."""
+    n, m = len(seq1), len(seq2)
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    if n == 0 or m == 0:
+        return None
+    diag_best = max(match, mismatch)
+    if gap > 0 or 2 * gap >= diag_best:
+        return None
+    d = m - n
+    w = max(0, margin)
+    if w >= min(n, m):
+        return None
+    lo, hi = min(0, d) - w, max(0, d) + w
+    rows = _banded_fill_numpy(np, n, m, lo, hi, eq_row_fn, scoring)
+    jlo, last = rows[n]
+    score = last[m - jlo]
+    g1_esc = w + 1 + max(0, -d)
+    if g1_esc <= n:
+        escape_bound = (n - g1_esc) * diag_best + (2 * g1_esc + d) * gap
+        if score <= escape_bound:
+            return None
+    entries = _banded_traceback(seq1, seq2, rows, eq, scoring)
+    return AlignmentResult(entries, int(score))
+
+
+def needleman_wunsch_banded_numpy_keyed(seq1: Sequence[T], seq2: Sequence[T],
+                                        keys1: Sequence[int],
+                                        keys2: Sequence[int],
+                                        scoring: ScoringScheme = ScoringScheme(),
+                                        band_margin: Optional[int] = None
+                                        ) -> AlignmentResult[T]:
+    """Banded vectorized NW over integer keys: identical results to
+    :func:`~repro.core.alignment.needleman_wunsch_banded_keyed` (and hence
+    the full DP), with the key-multiset-derived default band margin and a
+    fallback to the full vectorized kernel when the certificate fails."""
+    np = require_numpy("nw-banded-numpy")
+    if band_margin is None:
+        band_margin = derive_band_margin(keys1, keys2)
+    k1 = _int_keys(np, keys1)
+    k2 = _int_keys(np, keys2)
+    if k1 is None or k2 is None:
+        from .alignment import needleman_wunsch_banded_keyed
+        return needleman_wunsch_banded_keyed(seq1, seq2, keys1, keys2,
+                                             scoring, band_margin)
+
+    def eq_row_fn(i: int, js):
+        return k1[i] == k2[js - 1]
+
+    def eq(i: int, j: int) -> bool:
+        return keys1[i] == keys2[j]
+
+    result = _try_banded_numpy(np, seq1, seq2, eq_row_fn, eq, scoring,
+                               band_margin)
+    if result is not None:
+        return result
+    return needleman_wunsch_numpy_keyed(seq1, seq2, keys1, keys2, scoring)
+
+
+def needleman_wunsch_banded_numpy(seq1: Sequence[T], seq2: Sequence[T],
+                                  equivalent: EquivalenceFn = _default_equivalence,
+                                  scoring: ScoringScheme = ScoringScheme(),
+                                  band_margin: Optional[int] = None
+                                  ) -> AlignmentResult[T]:
+    """Banded vectorized NW behind the generic predicate interface, with the
+    same automatic band margin as the pure-Python banded kernel."""
+    np = require_numpy("nw-banded-numpy")
+    if band_margin is None:
+        band_margin = max(DEFAULT_BAND_MARGIN, min(len(seq1), len(seq2)) // 8)
+    memo: dict = {}
+
+    def eq(i: int, j: int) -> bool:
+        key = (i, j)
+        value = memo.get(key)
+        if value is None:
+            value = memo[key] = equivalent(seq1[i], seq2[j])
+        return value
+
+    def eq_row_fn(i: int, js):
+        return np.array([eq(i, j - 1) if j > 0 else False for j in js],
+                        dtype=bool)
+
+    result = _try_banded_numpy(np, seq1, seq2, eq_row_fn, eq, scoring,
+                               band_margin)
+    if result is not None:
+        return result
+    return needleman_wunsch_numpy(seq1, seq2, equivalent, scoring)
+
+
+#: Keyed kernels by algorithm name, for the AlignmentStage dispatch table.
+KEYED_NUMPY_KERNELS = {
+    "nw-numpy": needleman_wunsch_numpy_keyed,
+    "nw-banded-numpy": needleman_wunsch_banded_numpy_keyed,
+}

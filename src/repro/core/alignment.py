@@ -528,12 +528,37 @@ def alignment_score(entries: List[AlignedEntry[T]],
     return total
 
 
-#: Registry of alignment algorithms for the ablation benches.
+def _numpy_algorithm(kernel: str):
+    """Registry thunk for the NumPy backend (:mod:`repro.core.align_np`).
+
+    Importing :mod:`repro.core.alignment` must not import NumPy - the
+    vectorized kernels live behind the optional ``fast`` extra - so the
+    registry holds a late-binding wrapper; calling it without NumPy raises
+    an ImportError naming the extra.
+    """
+
+    def run(seq1: Sequence[T], seq2: Sequence[T],
+            equivalent: EquivalenceFn = _default_equivalence,
+            scoring: ScoringScheme = ScoringScheme()) -> AlignmentResult[T]:
+        from . import align_np
+        fn = (align_np.needleman_wunsch_numpy if kernel == "nw-numpy"
+              else align_np.needleman_wunsch_banded_numpy)
+        return fn(seq1, seq2, equivalent, scoring)
+
+    run.__name__ = kernel.replace("-", "_")
+    return run
+
+
+#: Registry of alignment algorithms for the ablation benches.  The
+#: ``*-numpy`` entries require the optional ``fast`` extra (NumPy) and
+#: produce bit-identical results to their pure-Python counterparts.
 ALGORITHMS = {
     "needleman-wunsch": needleman_wunsch,
     "nw": needleman_wunsch,
     "nw-banded": needleman_wunsch_banded,
     "hirschberg": hirschberg,
+    "nw-numpy": _numpy_algorithm("nw-numpy"),
+    "nw-banded-numpy": _numpy_algorithm("nw-banded-numpy"),
 }
 
 

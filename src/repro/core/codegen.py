@@ -33,6 +33,7 @@ from ..ir.instructions import Branch, Cast, Instruction, Select
 from ..ir.values import Argument, Constant, GlobalVariable, Value
 from .alignment import AlignedEntry, AlignmentResult, ScoringScheme, align
 from .equivalence import entries_equivalent, types_equivalent
+from .fingerprint import FingerprintDelta
 from .linearizer import LinearEntry, linearize
 
 
@@ -75,13 +76,18 @@ class MergeResult:
         arg_maps: per side, a mapping from original arguments to merged
             arguments.
         alignment: the :class:`AlignmentResult` the merge was generated from.
+        fingerprint_delta: correction the code generator recorded for
+            :meth:`Fingerprint.of_merged` (extra selects / branches / casts
+            and the retyped return operands) - everything the merged body
+            contains beyond the aligned clones.
     """
 
     def __init__(self, merged: Function, function1: Function, function2: Function,
                  func_id: Optional[Argument],
                  arg_map1: Dict[Argument, Argument],
                  arg_map2: Dict[Argument, Argument],
-                 alignment: AlignmentResult):
+                 alignment: AlignmentResult,
+                 fingerprint_delta: Optional[FingerprintDelta] = None):
         self.merged = merged
         self.function1 = function1
         self.function2 = function2
@@ -89,6 +95,7 @@ class MergeResult:
         self.arg_maps: Tuple[Dict[Argument, Argument], Dict[Argument, Argument]] = (
             arg_map1, arg_map2)
         self.alignment = alignment
+        self.fingerprint_delta = fingerprint_delta or FingerprintDelta()
 
     # -- helpers used when rewriting call sites / building thunks ----------------
     def side_of(self, function: Function) -> int:
@@ -285,6 +292,22 @@ class MergeCodeGenerator:
         self.func_id: Optional[Argument] = None
         self.return_type: Optional[ty.Type] = None
         self._merged_entry_candidates: Tuple[Optional[BasicBlock], Optional[BasicBlock]] = (None, None)
+        # everything emitted beyond the aligned clones, for the incremental
+        # merged-function fingerprint (Fingerprint.of_merged)
+        self.fp_delta = FingerprintDelta()
+
+    def _emit_extra(self, inst: Instruction) -> Instruction:
+        """Record an instruction the aligned columns do not account for."""
+        self.fp_delta.count(inst)
+        return inst
+
+    def _convert(self, value: Value, to_type: ty.Type, block: BasicBlock,
+                 before: Optional[Instruction] = None) -> Value:
+        """``convert_value`` with fingerprint accounting of the cast."""
+        converted = convert_value(value, to_type, block, before)
+        if converted is not value and isinstance(converted, Instruction):
+            self.fp_delta.count(converted)
+        return converted
 
     # -- public API ----------------------------------------------------------
     def generate(self) -> MergeResult:
@@ -313,7 +336,7 @@ class MergeCodeGenerator:
         arg_map1 = {arg: self.value_map1[id(arg)] for arg in self.f1.arguments}
         arg_map2 = {arg: self.value_map2[id(arg)] for arg in self.f2.arguments}
         result = MergeResult(merged, self.f1, self.f2, func_id, arg_map1, arg_map2,
-                             alignment)
+                             alignment, self.fp_delta)
         merged.merged_from = (self.f1.name, self.f2.name)
         return result
 
@@ -344,7 +367,7 @@ class MergeCodeGenerator:
                     new_block = merged.append_block(f"m.{left.value.name or 'bb'}")
                     for block in (cur_merged, cur_left, cur_right):
                         if unterminated(block):
-                            block.append(Branch(new_block))
+                            block.append(self._emit_extra(Branch(new_block)))
                     self.value_map1[id(left.value)] = new_block
                     self.value_map2[id(right.value)] = new_block
                     cur_merged, cur_left, cur_right = new_block, None, None
@@ -354,9 +377,9 @@ class MergeCodeGenerator:
                         join = merged.append_block("m.join")
                         for block in (cur_left, cur_right):
                             if unterminated(block):
-                                block.append(Branch(join))
+                                block.append(self._emit_extra(Branch(join)))
                         if cur_left is None and cur_right is None and unterminated(cur_merged):
-                            cur_merged.append(Branch(join))
+                            cur_merged.append(self._emit_extra(Branch(join)))
                         cur_merged, cur_left, cur_right = join, None, None
                     clone = left.value.clone()
                     cur_merged.append(clone)
@@ -396,7 +419,8 @@ class MergeCodeGenerator:
                 left_block = merged.append_block("guard.l")
                 right_block = merged.append_block("guard.r")
                 assert self.func_id is not None
-                cur_merged.append(Branch(self.func_id, left_block, right_block))
+                cur_merged.append(
+                    self._emit_extra(Branch(self.func_id, left_block, right_block)))
                 if side == 0:
                     cur, other = left_block, right_block
                 else:
@@ -425,7 +449,7 @@ class MergeCodeGenerator:
             return
         assert self.func_id is not None
         dispatch = BasicBlock("entry.dispatch", merged)
-        dispatch.append(Branch(self.func_id, entry1, entry2))
+        dispatch.append(self._emit_extra(Branch(self.func_id, entry1, entry2)))
         merged.blocks.insert(0, dispatch)
 
     # -- pass 2: operands ---------------------------------------------------------
@@ -459,7 +483,7 @@ class MergeCodeGenerator:
             if (not isinstance(resolved, BasicBlock)
                     and resolved.type != operand.type
                     and types_equivalent(resolved.type, operand.type)):
-                resolved = convert_value(resolved, operand.type, clone.parent, clone)
+                resolved = self._convert(resolved, operand.type, clone.parent, clone)
             clone.set_operand(index, resolved)
         self._fixup_return(clone, original, side)
 
@@ -518,12 +542,13 @@ class MergeCodeGenerator:
         if lp1 is not None and lp2 is not None:
             # hoist the landing pad into the router block (Section III-E)
             hoisted = lp1.clone()
-            router.append(hoisted)
+            router.append(self._emit_extra(hoisted))
             for lp, block in ((lp1, block1), (lp2, block2)):
+                self.fp_delta.uncount(lp)
                 lp.replace_all_uses_with(hoisted)
                 block.remove(lp)
                 lp.drop_all_operands()
-        router.append(Branch(self.func_id, block1, block2))
+        router.append(self._emit_extra(Branch(self.func_id, block1, block2)))
         return router
 
     def _merge_value_operand(self, v1: Value, v2: Value, operand1: Value,
@@ -537,8 +562,8 @@ class MergeCodeGenerator:
             return v1
         assert clone.parent is not None and self.func_id is not None
         if v2.type != v1.type and types_equivalent(v2.type, v1.type):
-            v2 = convert_value(v2, v1.type, clone.parent, clone)
-        select = Select(self.func_id, v1, v2, name="op.sel")
+            v2 = self._convert(v2, v1.type, clone.parent, clone)
+        select = self._emit_extra(Select(self.func_id, v1, v2, name="op.sel"))
         clone.parent.insert_before(clone, select)
         return select
 
@@ -552,11 +577,13 @@ class MergeCodeGenerator:
         if not clone.operands:
             # the original returned void but the merged function does not
             clone.append_operand(vals.undef(self.return_type))
+            self.fp_delta.add_operand(self.return_type)
             return
         value = clone.operands[0]
         if value.type != self.return_type:
-            converted = convert_value(value, self.return_type, clone.parent, clone)
+            converted = self._convert(value, self.return_type, clone.parent, clone)
             clone.set_operand(0, converted)
+            self.fp_delta.retype_operand(value.type, self.return_type)
 
     def _fixup_matched_return(self, clone: Instruction, inst1: Instruction,
                               inst2: Instruction) -> None:
@@ -567,8 +594,9 @@ class MergeCodeGenerator:
             return
         value = clone.operands[0]
         if value.type != self.return_type:
-            converted = convert_value(value, self.return_type, clone.parent, clone)
+            converted = self._convert(value, self.return_type, clone.parent, clone)
             clone.set_operand(0, converted)
+            self.fp_delta.retype_operand(value.type, self.return_type)
 
     # -- func_id cleanup ------------------------------------------------------------
     def _finalize_func_id(self) -> Optional[Argument]:

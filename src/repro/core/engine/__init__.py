@@ -19,6 +19,7 @@ Public API:
   types (re-exported by :mod:`repro.core.pass_` for backward compatibility).
 """
 
+from .align_cache import AlignmentCache
 from .base import Stage, StageStats
 from .engine import MergeEngine
 from .plan import CommitEvents, MergePlan, PlanDecision
@@ -32,6 +33,7 @@ from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      PreprocessStage, ProfitabilityStage)
 
 __all__ = [
+    "AlignmentCache",
     "MergeEngine",
     "MergeScheduler", "PlanExecutor", "SerialExecutor", "ThreadExecutor",
     "EXECUTORS", "make_executor",

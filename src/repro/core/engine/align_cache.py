@@ -1,0 +1,143 @@
+"""Content-addressed alignment cache.
+
+Aligning the same pair of linearizations twice is pure waste, and the
+plan/commit scheduler does it structurally: a conflicted plan is discarded
+and replanned against the same (unchanged) candidate bodies, and a requeued
+worklist entry re-evaluates candidates an earlier batch already aligned.
+Function families make it worse - identical clones produce *identical key
+sequences*, so textually different function pairs keep asking for the very
+same DP.
+
+:class:`AlignmentCache` memoises alignments by **content**, not by function
+name: the key is ``(digest(keys1), digest(keys2), scoring, kernel)``, where
+the digests come from :meth:`LinearizedFunction.content_digest` (a BLAKE2b
+hash of the integer equivalence-key sequence).  Two consequences fall out:
+
+* **Invalidation is automatic.**  When a commit rewrites a function,
+  ``LinearizeStage.invalidate`` drops its cached linearization; the fresh
+  linearization has different keys, hence a different digest, hence a
+  different cache key.  A stale body can never satisfy a lookup - there is
+  nothing to invalidate by name.
+* **Hits transfer across functions.**  Any pair whose key sequences match a
+  previously aligned pair hits the cache, even if the functions themselves
+  have never met.
+
+What is stored is not the :class:`~repro.core.alignment.AlignmentResult`
+itself - its entries reference the concrete ``LinearEntry`` objects of one
+specific function pair - but the *shape* of the alignment: the score plus a
+compact ``m``/``l``/``r`` op string (match / left-gap / right-gap per
+column).  Rehydrating the ops against the requesting pair's entry lists
+reproduces exactly the entries the kernel would have produced, because the
+keyed DP (every kernel: pure, banded, NumPy - all bit-identical by
+construction) depends only on the key sequences and the scoring scheme.
+
+The cache is a bounded LRU and thread-safe: planners running under
+``jobs>1`` share it behind one lock (the critical sections are dict ops,
+orders of magnitude cheaper than the DP they save).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..alignment import AlignedEntry, AlignmentResult
+
+#: Rough per-entry bookkeeping cost (two 16-byte digests, the scoring and
+#: kernel key parts, dict/OrderedDict slots) used for the ``bytes`` stat.
+_ENTRY_OVERHEAD = 160
+
+
+def ops_of(entries: List[AlignedEntry]) -> str:
+    """Serialize alignment entries to the compact op string."""
+    return "".join(
+        "m" if e.is_match else ("l" if e.is_left_only else "r")
+        for e in entries)
+
+
+def rehydrate(ops: str, score: int, seq1, seq2) -> AlignmentResult:
+    """Rebuild an :class:`AlignmentResult` for a concrete pair from ops."""
+    entries: List[AlignedEntry] = []
+    i = j = 0
+    for op in ops:
+        if op == "m":
+            entries.append(AlignedEntry(seq1[i], seq2[j]))
+            i += 1
+            j += 1
+        elif op == "l":
+            entries.append(AlignedEntry(seq1[i], None))
+            i += 1
+        else:
+            entries.append(AlignedEntry(None, seq2[j]))
+            j += 1
+    if i != len(seq1) or j != len(seq2):
+        raise ValueError("cached alignment does not cover the sequences "
+                         f"({i}/{len(seq1)}, {j}/{len(seq2)})")
+    return AlignmentResult(entries, score)
+
+
+class AlignmentCache:
+    """Bounded, thread-safe LRU of alignment shapes keyed by content."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("alignment cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: tuple) -> Optional[Tuple[str, int]]:
+        """The cached ``(ops, score)`` for ``key``, or None (counted)."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, ops: str, score: int) -> None:
+        with self._lock:
+            existing = self._data.pop(key, None)
+            if existing is not None:
+                self._bytes -= len(existing[0]) + _ENTRY_OVERHEAD
+            self._data[key] = (ops, score)
+            self._bytes += len(ops) + _ENTRY_OVERHEAD
+            while len(self._data) > self.capacity:
+                _, (old_ops, _) = self._data.popitem(last=False)
+                self._bytes -= len(old_ops) + _ENTRY_OVERHEAD
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (fresh per engine run)."""
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats_dict(self, prefix: str = "align_cache_") -> Dict[str, int]:
+        """Counters for ``MergeReport.scheduler_stats``."""
+        with self._lock:
+            return {
+                prefix + "hits": self.hits,
+                prefix + "misses": self.misses,
+                prefix + "evictions": self.evictions,
+                prefix + "entries": len(self._data),
+                prefix + "bytes": self._bytes,
+            }
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

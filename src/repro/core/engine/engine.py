@@ -37,6 +37,8 @@ from ...ir.module import Module
 from ...targets.cost_model import TargetCostModel
 from ...targets.x86_64 import X86_64
 from ..codegen import CodegenError, MergeOptions
+from ..fingerprint import Fingerprint
+from .align_cache import AlignmentCache
 from .base import Stage
 from .plan import CommitEvents, MergePlan, PlanDecision
 from .prune import ProfitBoundIndex
@@ -70,11 +72,15 @@ class MergeEngine:
                  minimum_function_size: int = 1,
                  searcher: Union[str, object] = "indexed",
                  keyed_alignment: bool = True,
+                 alignment_kernel: Optional[str] = None,
+                 alignment_cache: Union[bool, int] = True,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
                  incremental_callgraph: bool = True,
-                 oracle_prune: bool = True):
+                 oracle_prune: bool = True,
+                 incremental_fingerprints: bool = True,
+                 verify_fingerprints: Optional[bool] = None):
         """Create the engine.
 
         Args:
@@ -99,6 +105,17 @@ class MergeEngine:
                 ``clear()``; the engine clears it at the start of each run).
             keyed_alignment: use the integer-key alignment kernels (same
                 results as the predicate-based algorithms, much faster).
+            alignment_kernel: alignment algorithm override - any
+                ``ALGORITHMS`` name (``"nw-numpy"`` / ``"nw-banded-numpy"``
+                select the vectorized NumPy backend) or ``"auto"``.  When
+                None, the ``REPRO_ALIGN_KERNEL`` environment variable is
+                consulted, then ``options.alignment_algorithm``.  Every
+                kernel produces bit-identical alignments and therefore
+                bit-identical merge decisions.
+            alignment_cache: memoise keyed alignments by linearization
+                content (default).  Pass an int to bound the LRU at that
+                many entries, ``False`` to disable.  Hit/miss/bytes counters
+                land in ``MergeReport.scheduler_stats``.
             jobs: how many worklist entries to plan concurrently (default:
                 ``REPRO_ENGINE_JOBS`` or 1).  Merge decisions are identical
                 for every value.
@@ -113,6 +130,15 @@ class MergeEngine:
                 upper bound (see :class:`ProfitBoundIndex`) provably cannot
                 beat the best profitable merge found so far.  Decisions are
                 identical with pruning on or off.
+            incremental_fingerprints: compute each merged function's
+                fingerprint from the alignment columns plus the codegen
+                delta (:meth:`Fingerprint.of_merged`) instead of rescanning
+                the new body.  The result is element-wise identical either
+                way; ``False`` restores the rescan, kept for benchmarking.
+            verify_fingerprints: cross-check every incremental fingerprint
+                against a from-scratch ``Fingerprint.of`` after each commit
+                (defaults to the ``REPRO_VERIFY_FINGERPRINTS`` environment
+                variable; the test suite turns it on).
         """
         self.target = target or X86_64
         self.exploration_threshold = max(1, exploration_threshold)
@@ -126,6 +152,12 @@ class MergeEngine:
         self.batch_size = batch_size
         self.incremental_callgraph = incremental_callgraph
         self.oracle_prune = oracle_prune
+        self.incremental_fingerprints = incremental_fingerprints
+        if verify_fingerprints is None:
+            value = os.environ.get("REPRO_VERIFY_FINGERPRINTS", "")
+            verify_fingerprints = value.strip().lower() not in (
+                "", "0", "false", "no", "off")
+        self.verify_fingerprints = verify_fingerprints
 
         if isinstance(searcher, str):
             searcher = make_searcher(searcher,
@@ -134,13 +166,22 @@ class MergeEngine:
         self.profit_bounds = (ProfitBoundIndex(self.target)
                               if oracle and oracle_prune else None)
 
+        if alignment_cache is True:
+            self.align_cache: Optional[AlignmentCache] = AlignmentCache()
+        elif alignment_cache:
+            self.align_cache = AlignmentCache(int(alignment_cache))
+        else:
+            self.align_cache = None
+
         self.preprocess = PreprocessStage()
         self.fingerprint = FingerprintStage(searcher, self.profit_bounds)
         self.candidate_search = CandidateSearchStage(searcher)
         self.linearize = LinearizeStage(self.options.traversal)
         self.alignment = AlignmentStage(self.options.scoring,
                                         self.options.alignment_algorithm,
-                                        keyed=keyed_alignment)
+                                        keyed=keyed_alignment,
+                                        kernel=alignment_kernel,
+                                        cache=self.align_cache)
         self.codegen = CodegenStage(self.options)
         self.profitability = ProfitabilityStage(self.target, allow_deletion)
         self.commit = CommitStage(allow_deletion,
@@ -245,6 +286,36 @@ class MergeEngine:
         plan.decision = best
         return plan
 
+    def _merged_fingerprint(self, result, applied, fp_merged) -> Fingerprint:
+        """Fingerprint for the just-committed merged function.
+
+        Incremental (the pre-commit :meth:`Fingerprint.of_merged` result)
+        when enabled, falling back to a body rescan when the commit rewrote
+        the merged body itself (it called one of its own originals, so
+        ``apply_merge`` widened call sites inside it and the alignment no
+        longer describes the body).
+        """
+        merged = result.merged
+        if fp_merged is None or merged.name in applied.rewritten_callers:
+            self.fingerprint.stats.bump("rescans")
+            return Fingerprint.of(merged)
+        fp = fp_merged
+        fp.function_name = merged.name  # apply_merge made the name unique
+        self.fingerprint.stats.bump("incremental")
+        if self.verify_fingerprints:
+            fresh = Fingerprint.of(merged)
+            if (fp.opcode_freq != fresh.opcode_freq
+                    or fp.type_freq != fresh.type_freq
+                    or fp.size != fresh.size):
+                raise AssertionError(
+                    f"incremental fingerprint of {merged.name} diverged from "
+                    f"rescan: opcodes {fp.opcode_freq - fresh.opcode_freq} / "
+                    f"{fresh.opcode_freq - fp.opcode_freq}, types "
+                    f"{fp.type_freq - fresh.type_freq} / "
+                    f"{fresh.type_freq - fp.type_freq}, size "
+                    f"{fp.size} != {fresh.size}")
+        return fp
+
     def _query_key(self, name: str, limit: int) -> tuple:
         """The current candidate ranking of ``name`` in comparable form
         (the committer's fingerprint-change conflict check)."""
@@ -275,16 +346,31 @@ class MergeEngine:
             for caller in call_graph.callers_of(original):
                 self.linearize.invalidate(caller.name)
 
+        # compute the merged fingerprint *before* the commit: applying the
+        # merge thunks/rewrites the originals' bodies (a deleted original
+        # even drops its operands), while of_merged composes the originals'
+        # live fingerprints with the alignment - both describing exactly
+        # the bodies the plan was computed against
+        fp_merged = None
+        if self.incremental_fingerprints:
+            fp1 = self.fingerprint.live_fingerprint(result.function1)
+            fp2 = self.fingerprint.live_fingerprint(result.function2)
+            fp_merged = Fingerprint.of_merged(result.alignment, fp1, fp2,
+                                              result.fingerprint_delta)
+
         applied = self.commit.apply(module, result, call_graph)
 
         for name in (name1, name2):
             self._available.discard(name)
             self.fingerprint.remove_function(name)
             self.linearize.invalidate(name)
+        for name in applied.rewritten_callers:
+            self.fingerprint.invalidate_live(name)
 
         merged = result.merged
         if self._eligible(merged):
-            self.fingerprint.add_function(merged)
+            self.fingerprint.add_merged(merged, self._merged_fingerprint(
+                result, applied, fp_merged))
             self._available.add(merged.name)
             self._worklist.append(merged.name)
 
@@ -334,6 +420,10 @@ class MergeEngine:
         for stage in self.stages:
             stage.reset()
         self.linearize.clear()
+        if self.align_cache is not None:
+            # content-addressed entries would stay *correct* across runs,
+            # but per-run stats (and the fresh interner) argue for a reset
+            self.align_cache.clear()
         # the original pass built a fresh ranker per run(): a reused engine
         # must not rank against the previous module's fingerprints
         self.fingerprint.clear()
@@ -377,6 +467,8 @@ class MergeEngine:
 
         report.stale_entries = scheduler.stats["stale_entries"]
         report.scheduler_stats = dict(scheduler.stats)
+        if self.align_cache is not None:
+            report.scheduler_stats.update(self.align_cache.stats_dict())
         report.stage_times = self._legacy_stage_times()
         report.stage_stats = self.stage_stats()
         return report

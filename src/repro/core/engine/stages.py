@@ -10,22 +10,72 @@ driver loop in :class:`~repro.core.engine.engine.MergeEngine`.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Optional
 
 from ...ir.callgraph import CallGraph
 from ...ir.function import Function
 from ...ir.module import Module
 from ...passes.reg2mem import demote_phis
-from ..alignment import (AlignmentResult, ScoringScheme, align,
+from ..align_np import (KEYED_NUMPY_KERNELS, NUMPY_KERNELS,
+                        PURE_PYTHON_FALLBACKS, numpy_available, require_numpy)
+from ..alignment import (ALGORITHMS, AlignmentResult, ScoringScheme, align,
                          needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
 from ..codegen import MergeOptions, MergeResult, merge_functions
 from ..equivalence import EquivalenceKeyInterner, entries_equivalent
+from ..fingerprint import Fingerprint
 from ..linearizer import LinearizedFunction, linearize_with_keys
 from ..profitability import MergeEvaluation, estimate_profit
 from ..ranking import RankedCandidate
 from ..thunks import AppliedMerge, apply_merge
+from .align_cache import AlignmentCache, ops_of, rehydrate
 from .base import Stage
+
+#: Environment knob selecting the alignment kernel for every engine that
+#: does not pass one explicitly (the CI matrix leg runs the whole suite on
+#: the NumPy backend this way).  Accepts any ``ALGORITHMS`` name or
+#: ``"auto"``.
+ALIGN_KERNEL_ENV = "REPRO_ALIGN_KERNEL"
+
+
+def resolve_alignment_kernel(kernel: Optional[str], algorithm: str) -> str:
+    """Resolve the alignment algorithm an :class:`AlignmentStage` runs.
+
+    Priority: the explicit ``kernel`` argument, then the
+    ``REPRO_ALIGN_KERNEL`` environment variable, then ``algorithm`` (the
+    historical ``MergeOptions.alignment_algorithm``).  ``"auto"`` picks the
+    NumPy backend when it is importable and the keyed pure-Python kernel
+    otherwise.
+
+    Requesting a NumPy kernel explicitly (argument or options) without
+    NumPy installed raises an ImportError naming the ``fast`` extra;
+    requesting it through the *environment* downgrades to the pure-Python
+    kernel of identical behaviour with a warning instead, so a globally
+    exported knob never breaks dependency-free checkouts.
+    """
+    explicit = kernel is not None
+    if kernel is None:
+        kernel = os.environ.get(ALIGN_KERNEL_ENV, "").strip() or None
+        if kernel is None:
+            kernel = algorithm
+            explicit = True
+    if kernel == "auto":
+        return "nw-numpy" if numpy_available() else algorithm
+    if kernel not in ALGORITHMS:
+        raise ValueError(f"unknown alignment kernel {kernel!r}; "
+                         f"available: {sorted(set(ALGORITHMS))} (or 'auto')")
+    if kernel in NUMPY_KERNELS and not numpy_available():
+        if explicit:
+            require_numpy(kernel)  # raises, naming the 'fast' extra
+        fallback = PURE_PYTHON_FALLBACKS[kernel]
+        warnings.warn(
+            f"{ALIGN_KERNEL_ENV}={kernel} requested but NumPy is not "
+            f"installed; falling back to the pure-Python {fallback!r} "
+            f"kernel (identical alignments)", RuntimeWarning, stacklevel=2)
+        return fallback
+    return kernel
 
 
 class PreprocessStage(Stage):
@@ -57,9 +107,24 @@ class FingerprintStage(Stage):
         super().__init__()
         self.searcher = searcher
         self.profit_bounds = profit_bounds
+        # fingerprints of the *live* bodies, feeding Fingerprint.of_merged;
+        # unlike the searcher's index (which deliberately keeps ranking
+        # rewritten callers by their original fingerprints) entries here are
+        # dropped whenever a commit rewrites the function's body
+        self._live: Dict[str, Fingerprint] = {}
+
+    def _index(self, function: Function, fp: Fingerprint) -> None:
+        add = getattr(self.searcher, "add_fingerprint", None)
+        if add is not None:
+            add(fp)
+        else:  # custom searcher without the fingerprint fast path
+            self.searcher.add_function(function)
 
     def _add(self, functions: List[Function]) -> None:
-        self.searcher.add_functions(functions)
+        for function in functions:
+            fp = Fingerprint.of(function)
+            self._live[fp.function_name] = fp
+            self._index(function, fp)
         if self.profit_bounds is not None:
             self.profit_bounds.add_functions(functions)
 
@@ -71,8 +136,38 @@ class FingerprintStage(Stage):
         self.stats.bump("functions")
         self.timed(self._add, [function])
 
+    def add_merged(self, function: Function, fp: Fingerprint) -> None:
+        """Index a merged function under a fingerprint computed elsewhere
+        (incrementally via :meth:`Fingerprint.of_merged`, or by rescan)."""
+        self.stats.bump("functions")
+
+        def _do() -> None:
+            self._live[function.name] = fp
+            self._index(function, fp)
+            if self.profit_bounds is not None:
+                self.profit_bounds.add_function(function)
+
+        self.timed(_do)
+
+    def live_fingerprint(self, function: Function) -> Fingerprint:
+        """Fingerprint of the function's *current* body (cached; recomputed
+        after :meth:`invalidate_live`)."""
+        fp = self._live.get(function.name)
+        if fp is None:
+            self.stats.bump("live_refreshed")
+            fp = Fingerprint.of(function)
+            self._live[function.name] = fp
+        return fp
+
+    def invalidate_live(self, name: str) -> None:
+        """A commit rewrote this function's body (call sites widened);
+        its live fingerprint no longer matches and must be recomputed on
+        next use.  The searcher index is deliberately left alone."""
+        self._live.pop(name, None)
+
     def _remove(self, name: str) -> None:
         self.searcher.remove_function(name)
+        self._live.pop(name, None)
         if self.profit_bounds is not None:
             self.profit_bounds.remove_function(name)
 
@@ -93,6 +188,7 @@ class FingerprintStage(Stage):
 
     def clear(self) -> None:
         self.searcher.clear()
+        self._live.clear()
         if self.profit_bounds is not None:
             self.profit_bounds.clear()
 
@@ -156,9 +252,19 @@ class LinearizeStage(Stage):
 class AlignmentStage(Stage):
     """Runs the sequence-alignment kernel on two linearized functions.
 
-    With ``keyed=True`` (the default) the named algorithm is dispatched to
-    its fast integer-key kernel when one exists; results are identical to the
-    predicate-based algorithms, only cheaper per cell.
+    With ``keyed=True`` (the default) the selected algorithm is dispatched
+    to its fast integer-key kernel when one exists; results are identical to
+    the predicate-based algorithms, only cheaper per cell.  ``kernel``
+    overrides the algorithm name (falling back to the ``REPRO_ALIGN_KERNEL``
+    environment variable, then to ``algorithm``); the ``nw-numpy`` /
+    ``nw-banded-numpy`` kernels run the vectorized backend of
+    :mod:`repro.core.align_np`.
+
+    When a :class:`~repro.core.engine.align_cache.AlignmentCache` is
+    attached, keyed alignments are memoised by linearization content: a
+    cache hit skips the DP entirely and rehydrates the stored alignment
+    shape against this pair's entries (bit-identical to recomputation, see
+    the cache module docstring).
     """
 
     name = "align"
@@ -171,13 +277,18 @@ class AlignmentStage(Stage):
         "nw": needleman_wunsch_keyed,
         "nw-banded": needleman_wunsch_banded_keyed,
     }
+    KEYED_KERNELS.update(KEYED_NUMPY_KERNELS)
 
     def __init__(self, scoring: ScoringScheme = ScoringScheme(),
-                 algorithm: str = "needleman-wunsch", keyed: bool = True):
+                 algorithm: str = "needleman-wunsch", keyed: bool = True,
+                 kernel: Optional[str] = None,
+                 cache: Optional[AlignmentCache] = None):
         super().__init__()
         self.scoring = scoring
-        self.algorithm = algorithm
+        self.algorithm = resolve_alignment_kernel(kernel, algorithm)
         self.keyed = keyed
+        self.cache = cache
+        self._scoring_key = (scoring.match, scoring.mismatch, scoring.gap)
 
     def align_pair(self, lin1: LinearizedFunction,
                    lin2: LinearizedFunction) -> AlignmentResult:
@@ -188,9 +299,23 @@ class AlignmentStage(Stage):
         if self.keyed:
             kernel = self.KEYED_KERNELS.get(self.algorithm)
             if kernel is not None:
+                cache = self.cache
+                if cache is None:
+                    self.stats.bump("keyed")
+                    return kernel(lin1.entries, lin2.entries,
+                                  lin1.keys, lin2.keys, self.scoring)
+                key = (lin1.content_digest(), lin2.content_digest(),
+                       self._scoring_key, self.algorithm)
+                cached = cache.get(key)
+                if cached is not None:
+                    self.stats.bump("cache_hits")
+                    return rehydrate(cached[0], cached[1],
+                                     lin1.entries, lin2.entries)
                 self.stats.bump("keyed")
-                return kernel(lin1.entries, lin2.entries, lin1.keys, lin2.keys,
-                              self.scoring)
+                result = kernel(lin1.entries, lin2.entries,
+                                lin1.keys, lin2.keys, self.scoring)
+                cache.put(key, ops_of(result.entries), result.score)
+                return result
         self.stats.bump("generic")
         return align(lin1.entries, lin2.entries, entries_equivalent,
                      self.scoring, self.algorithm)

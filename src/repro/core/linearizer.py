@@ -122,17 +122,37 @@ def linearize_with_keys(function: Function, traversal: str = "rpo",
 class LinearizedFunction:
     """A linearized function plus per-entry equivalence keys."""
 
-    __slots__ = ("entries", "keys")
+    __slots__ = ("entries", "keys", "_digest")
 
     def __init__(self, entries: List[LinearEntry], keys: List[int]):
         self.entries = entries
         self.keys = keys
+        self._digest: Union[bytes, None] = None
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def __iter__(self):
         return iter(self.entries)
+
+    def content_digest(self) -> bytes:
+        """128-bit BLAKE2b digest of the equivalence-key sequence.
+
+        This is the linearization's *content address*: two linearizations
+        keyed by the same interner get equal digests exactly when their key
+        sequences are equal (comma-separated decimals are injective), which
+        is precisely when every keyed alignment kernel produces the same
+        alignment shape.  Computed lazily and cached - the linearization is
+        immutable once built (rewritten functions get a fresh one via
+        ``LinearizeStage.invalidate``).
+        """
+        digest = self._digest
+        if digest is None:
+            import hashlib
+            h = hashlib.blake2b(digest_size=16)
+            h.update(",".join(map(str, self.keys)).encode("ascii"))
+            digest = self._digest = h.digest()
+        return digest
 
 
 def sequence_signature(entries: Iterable[LinearEntry]) -> List[str]:

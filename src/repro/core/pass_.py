@@ -45,11 +45,15 @@ class FunctionMergingPass(Pass):
                  minimum_function_size: int = 1,
                  searcher: Union[str, object] = "indexed",
                  keyed_alignment: bool = True,
+                 alignment_kernel: Optional[str] = None,
+                 alignment_cache: Union[bool, int] = True,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
                  incremental_callgraph: bool = True,
-                 oracle_prune: bool = True):
+                 oracle_prune: bool = True,
+                 incremental_fingerprints: bool = True,
+                 verify_fingerprints: Optional[bool] = None):
         """Create the pass.
 
         Args:
@@ -71,6 +75,14 @@ class FunctionMergingPass(Pass):
                 or a searcher instance); all yield identical rankings.
             keyed_alignment: use the fast integer-key alignment kernels
                 (identical alignments, fewer predicate evaluations).
+            alignment_kernel: alignment algorithm override (any
+                ``ALGORITHMS`` name, ``"nw-numpy"`` / ``"nw-banded-numpy"``
+                for the vectorized NumPy backend, or ``"auto"``); defaults
+                to ``REPRO_ALIGN_KERNEL`` and then to
+                ``options.alignment_algorithm``.  Bit-identical decisions
+                for every kernel.
+            alignment_cache: content-addressed memoisation of keyed
+                alignments (default on; int = LRU capacity).
             jobs / executor / batch_size: plan/commit scheduler knobs - how
                 many worklist entries are planned concurrently and in what
                 batches (see :class:`repro.core.engine.MergeScheduler`).
@@ -79,6 +91,10 @@ class FunctionMergingPass(Pass):
                 across commits instead of rebuilding it (default True).
             oracle_prune: skip provably unprofitable candidates in oracle
                 mode using the profit-bound index (default True).
+            incremental_fingerprints / verify_fingerprints: compute merged
+                functions' fingerprints from the alignment columns instead
+                of rescanning bodies, optionally cross-checked against a
+                rescan after every commit (see :class:`MergeEngine`).
         """
         self.engine = MergeEngine(
             target=target, exploration_threshold=exploration_threshold,
@@ -86,9 +102,12 @@ class FunctionMergingPass(Pass):
             hot_function_filter=hot_function_filter,
             minimum_function_size=minimum_function_size,
             searcher=searcher, keyed_alignment=keyed_alignment,
+            alignment_kernel=alignment_kernel, alignment_cache=alignment_cache,
             jobs=jobs, executor=executor, batch_size=batch_size,
             incremental_callgraph=incremental_callgraph,
-            oracle_prune=oracle_prune)
+            oracle_prune=oracle_prune,
+            incremental_fingerprints=incremental_fingerprints,
+            verify_fingerprints=verify_fingerprints)
 
     # -- facade properties (historical public attributes) -----------------------
     @property

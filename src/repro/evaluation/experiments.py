@@ -57,6 +57,10 @@ class EvaluationSettings:
     #: optimized engine instead (benchmarks/bench_engine_stages.py does).
     searcher: str = "linear"
     keyed_alignment: bool = False
+    #: Alignment kernel override (``None`` = REPRO_ALIGN_KERNEL, then the
+    #: merge options; ``"nw-numpy"`` selects the vectorized backend).
+    #: Identical merge decisions for every kernel.
+    alignment_kernel: Optional[str] = None
     #: Plan/commit scheduler parallelism (None = engine default); identical
     #: merge decisions for every value.
     jobs: Optional[int] = None
@@ -150,6 +154,7 @@ def evaluate_suite(settings: Optional[EvaluationSettings] = None,
                     exclude_hot=config.get("exclude_hot", False),
                     searcher=settings.searcher,
                     keyed_alignment=settings.keyed_alignment,
+                    alignment_kernel=settings.alignment_kernel,
                     jobs=settings.jobs)
                 result.technique = _config_label(config)
                 evaluation.results[(benchmark, target, result.technique)] = result

@@ -169,6 +169,7 @@ def compile_module(module: Module, technique: str, *,
                    run_identical_first: bool = True,
                    searcher: str = "indexed",
                    keyed_alignment: bool = True,
+                   alignment_kernel: Optional[str] = None,
                    jobs: Optional[int] = None) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
@@ -177,11 +178,12 @@ def compile_module(module: Module, technique: str, *,
     compare techniques must regenerate the module per configuration (the
     workload generators are deterministic, so this is cheap and exact).
 
-    ``searcher``, ``keyed_alignment`` and ``jobs`` select the merge engine's
-    candidate-search / alignment-kernel strategies and the plan/commit
-    scheduler's parallelism; every choice produces identical merge decisions
-    and only changes the stage timings (the knobs the engine
-    microbenchmarks sweep).
+    ``searcher``, ``keyed_alignment``, ``alignment_kernel`` and ``jobs``
+    select the merge engine's candidate-search / alignment-kernel strategies
+    (``alignment_kernel`` picks the DP backend - e.g. ``"nw-numpy"`` for the
+    vectorized one) and the plan/commit scheduler's parallelism; every
+    choice produces identical merge decisions and only changes the stage
+    timings (the knobs the engine microbenchmarks sweep).
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -221,7 +223,7 @@ def compile_module(module: Module, technique: str, *,
                 options=merge_options or MergeOptions(),
                 hot_function_filter=hot_filter,
                 searcher=searcher, keyed_alignment=keyed_alignment,
-                jobs=jobs)
+                alignment_kernel=alignment_kernel, jobs=jobs)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import FunctionMergingPass, MergeEngine
+from repro.core import FunctionMergingPass, MergeEngine, numpy_available
 from repro.core.engine import make_executor
 from repro.ir import Module, verify_or_raise
 from repro.ir.callgraph import CallGraph
@@ -107,6 +107,41 @@ class TestSchedulerParity:
         # serial single-entry batches can never conflict
         assert serial.scheduler_stats["conflicts"] == 0
         verify_or_raise(batched_module)
+
+
+#: Every selectable alignment kernel (None = the engine default); the NumPy
+#: backends join in when the ``fast`` extra is installed.
+KERNELS = [None, "nw-banded"] + (
+    ["nw-numpy", "nw-banded-numpy"] if numpy_available() else [])
+
+
+class TestKernelParity:
+    """Merge decisions are bit-identical to the seed serial engine for every
+    alignment kernel x jobs x batch-size combination."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_kernel_jobs_batch_parity(self, seed):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(seed))
+        for kernel in KERNELS:
+            for jobs, batch_size in ((1, 1), (2, 8), (8, 32)):
+                module = build_module(seed)
+                report = FunctionMergingPass(
+                    exploration_threshold=2, jobs=jobs, batch_size=batch_size,
+                    alignment_kernel=kernel).run(module)
+                assert decisions(report) == decisions(reference), \
+                    (kernel, jobs, batch_size)
+                verify_or_raise(module)
+
+    @pytest.mark.parametrize("kernel", [k for k in KERNELS if k])
+    def test_kernel_parity_without_cache_and_under_oracle(self, kernel):
+        reference = FunctionMergingPass(oracle=True, **SEED_CONFIG).run(
+            build_module(3, families=5))
+        report = FunctionMergingPass(
+            oracle=True, alignment_kernel=kernel,
+            alignment_cache=False).run(build_module(3, families=5))
+        assert decisions(report) == decisions(reference)
 
 
 class TestIncrementalCallGraph:
