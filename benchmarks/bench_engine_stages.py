@@ -23,6 +23,13 @@ kernel-independent by construction; banded kernels and cache hits compute
 only a fraction of it) and the content-addressed alignment cache's hit
 rate.  Decisions must again be bit-identical.
 
+The same file also carries a ``persistence`` section: the cold-vs-warm
+comparison of the persisted alignment cache (``alignment_cache_path=`` /
+``REPRO_ALIGN_CACHE``).  A first run populates a snapshot, a second
+identical run warm-starts from it; the section records both runs' hit
+rates, the warm run's cross-run hit count and the alignment-stage seconds
+saved.  Decisions must be bit-identical cold and warm.
+
 Run directly (the CI smoke job does)::
 
     PYTHONPATH=src REPRO_BENCH_SCALE=0.01 python benchmarks/bench_engine_stages.py
@@ -395,6 +402,56 @@ def run_alignment_config(name: str, size: str, scale: float,
     return best
 
 
+def run_persistence_bench(scale: float = BENCH_SCALE) -> dict:
+    """Cold-vs-warm persisted-cache comparison on the medium workload.
+
+    Runs the default engine twice over identical module populations sharing
+    one snapshot path: the first (cold) run saves every alignment shape it
+    computes, the second (warm) run loads them back and should satisfy
+    essentially every alignment from the snapshot (>= 90% is the ISSUE's
+    acceptance bar; identical populations reach 100%).
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "align_cache.json")
+        runs = {}
+        for label in ("cold", "warm"):
+            module = build_alignment_population("medium", scale)
+            fmsa = FunctionMergingPass(exploration_threshold=2,
+                                       alignment_kernel="needleman-wunsch",
+                                       alignment_cache_path=path)
+            start = time.perf_counter()
+            report = fmsa.run(module)
+            wall = time.perf_counter() - start
+            stats = report.scheduler_stats
+            runs[label] = {
+                "wall_seconds": wall,
+                "alignment_seconds": report.stage_times.get("alignment", 0.0),
+                "align_cache": _cache_summary(report),
+                "cross_run_hits": stats.get("align_cache_cross_run_hits", 0),
+                "snapshot_entries": stats.get("align_cache_entries", 0),
+                "merges": report.merge_count,
+                "decisions": _decisions(report),
+            }
+        snapshot_bytes = os.path.getsize(path)
+
+    if runs["warm"]["decisions"] != runs["cold"]["decisions"]:
+        raise AssertionError(
+            "warm persisted-cache run changed merge decisions")
+    cold_align = runs["cold"]["alignment_seconds"]
+    warm_align = runs["warm"]["alignment_seconds"]
+    return {
+        "runs": {label: {k: v for k, v in run.items() if k != "decisions"}
+                 for label, run in runs.items()},
+        "snapshot_bytes": snapshot_bytes,
+        "warm_hit_rate": runs["warm"]["align_cache"]["hit_rate"],
+        "warm_cross_run_hits": runs["warm"]["cross_run_hits"],
+        "alignment_speedup_warm_vs_cold": (cold_align / warm_align
+                                           if warm_align else None),
+    }
+
+
 def run_alignment_bench(scale: float = BENCH_SCALE,
                         repeats: int = BENCH_REPEATS) -> dict:
     sizes = {}
@@ -432,6 +489,7 @@ def run_alignment_bench(scale: float = BENCH_SCALE,
         "sizes": sizes,
         "best_kernel_on_large": best_name,
         "alignment_stage_speedup": best_ratio,
+        "persistence": run_persistence_bench(scale),
     }
 
 
@@ -448,20 +506,33 @@ def emit_alignment(payload: dict, path: str = ALIGN_OUT) -> None:
             print(f"    {name:<13} kernel={config['kernel']:<17} "
                   f"align {shown} vs python, cache hit-rate "
                   f"{cache['hit_rate']:.0%}")
+    persistence = payload["persistence"]
+    speedup = persistence["alignment_speedup_warm_vs_cold"]
+    print(f"  persisted cache: warm hit-rate {persistence['warm_hit_rate']:.0%} "
+          f"({persistence['warm_cross_run_hits']} cross-run hits, "
+          f"snapshot {persistence['snapshot_bytes']} bytes), "
+          f"align stage {speedup:.2f}x vs cold"
+          if speedup is not None else
+          "  persisted cache: warm run skipped the alignment stage entirely")
     print(f"  best large-workload kernel: {payload['best_kernel_on_large']} "
           f"({payload['alignment_stage_speedup']:.2f}x) -> {path}")
 
 
 def test_alignment_kernel_bench():
     """Pytest entry point: identical decisions across kernels, cache hit
-    rate reported, and the fast path at least 3x the predicate aligner on
-    the large workload (the ISSUE's acceptance tripwire)."""
+    rate reported, the fast path at least 3x the predicate aligner on the
+    large workload, and the persisted cache's warm run hitting >= 90% (the
+    ISSUEs' acceptance tripwires)."""
     payload = run_alignment_bench()
     emit_alignment(payload)
     for size in payload["sizes"].values():
         for config in size["configs"].values():
             assert "hit_rate" in config["align_cache"]
     assert payload["alignment_stage_speedup"] > 3.0
+    persistence = payload["persistence"]
+    assert persistence["warm_hit_rate"] >= 0.9
+    assert persistence["warm_cross_run_hits"] > 0
+    assert persistence["runs"]["cold"]["cross_run_hits"] == 0
 
 
 if __name__ == "__main__":

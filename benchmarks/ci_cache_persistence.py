@@ -1,0 +1,95 @@
+"""CI driver: two-pass suite evaluation through a shared alignment cache.
+
+Runs the same (small) MiBench evaluation twice with ``REPRO_ALIGN_CACHE``
+pointing at one snapshot file.  The first pass populates the snapshot (its
+later benchmark x configuration compilations already warm-start from the
+earlier ones); the second pass must warm-start virtually everything.  The
+run fails when the second pass records no cross-run hits, when its hit rate
+drops below 90%, or when the two passes disagree on any merge decision -
+the regression tripwires for the cache-persistence path.
+
+Usage (the CI cache-persistence job)::
+
+    PYTHONPATH=src REPRO_ALIGN_CACHE=$PWD/align-cache.json \
+        python benchmarks/ci_cache_persistence.py
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 0.02) scales the workload;
+``REPRO_ALIGN_CACHE`` names the snapshot (default ``align-cache.json``).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.engine.align_cache import ALIGN_CACHE_ENV  # noqa: E402
+from repro.evaluation.experiments import (EvaluationSettings,  # noqa: E402
+                                          evaluate_suite)
+
+
+def _settings(cache_path):
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", 0.02))
+    except ValueError:
+        scale = 0.02
+    return EvaluationSettings(
+        suite="mibench", targets=("x86-64",), thresholds=(1, 5), scale=scale,
+        # the optimized engine configuration: the cache only serves the
+        # keyed alignment path
+        searcher="indexed", keyed_alignment=True,
+        alignment_cache_path=cache_path)
+
+
+def _cache_stats(evaluation):
+    """Summed alignment-cache counters over every FMSA compilation."""
+    totals = {"hits": 0, "misses": 0, "cross_run_hits": 0}
+    decisions = {}
+    for key, result in sorted(evaluation.results.items()):
+        report = result.merge_report
+        if report is None:
+            continue
+        stats = report.scheduler_stats
+        totals["hits"] += stats.get("align_cache_hits", 0)
+        totals["misses"] += stats.get("align_cache_misses", 0)
+        totals["cross_run_hits"] += stats.get("align_cache_cross_run_hits", 0)
+        decisions[key] = [(m.function1, m.function2, m.merged_name,
+                           m.rank_position, m.delta) for m in report.merges]
+    total = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / total if total else 0.0
+    return totals, decisions
+
+
+def main() -> int:
+    cache_path = os.environ.get(ALIGN_CACHE_ENV, "").strip() \
+        or "align-cache.json"
+    settings = _settings(cache_path)
+
+    first_stats, first_decisions = _cache_stats(evaluate_suite(settings))
+    second_stats, second_decisions = _cache_stats(evaluate_suite(settings))
+
+    print(f"pass 1: hit rate {first_stats['hit_rate']:.0%} "
+          f"({first_stats['hits']}/{first_stats['hits'] + first_stats['misses']}), "
+          f"{first_stats['cross_run_hits']} cross-run hits")
+    print(f"pass 2: hit rate {second_stats['hit_rate']:.0%} "
+          f"({second_stats['hits']}/{second_stats['hits'] + second_stats['misses']}), "
+          f"{second_stats['cross_run_hits']} cross-run hits")
+    print(f"snapshot: {cache_path} "
+          f"({os.path.getsize(cache_path)} bytes)")
+
+    failures = []
+    if second_stats["cross_run_hits"] <= 0:
+        failures.append("second pass recorded no cross-run cache hits")
+    if second_stats["hit_rate"] < 0.9:
+        failures.append(f"second-pass hit rate "
+                        f"{second_stats['hit_rate']:.0%} is below 90%")
+    if second_decisions != first_decisions:
+        failures.append("merge decisions changed between the two passes")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

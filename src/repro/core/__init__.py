@@ -26,7 +26,8 @@ from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
                       merge_return_types)
 from .engine import (AlignmentCache, IndexedCandidateSearcher, MergeEngine,
                      Stage, StageStats, make_searcher)
-from .equivalence import (EquivalenceKeyInterner, entries_equivalent,
+from .equivalence import (EquivalenceKeyInterner, encode_equivalence_key,
+                          entries_equivalent,
                           entry_equivalence_key, instructions_equivalent,
                           labels_equivalent, type_equivalence_key,
                           types_equivalent)
@@ -51,7 +52,8 @@ __all__ = [
     "merge_functions", "merge_parameter_lists", "merge_return_types",
     "IndexedCandidateSearcher", "MergeEngine", "Stage", "StageStats",
     "make_searcher",
-    "EquivalenceKeyInterner", "entries_equivalent", "entry_equivalence_key",
+    "EquivalenceKeyInterner", "encode_equivalence_key", "entries_equivalent",
+    "entry_equivalence_key",
     "instructions_equivalent", "labels_equivalent", "type_equivalence_key",
     "types_equivalent",
     "Fingerprint", "FingerprintDelta", "fingerprint_module", "similarity",

@@ -19,24 +19,25 @@ Public API:
   types (re-exported by :mod:`repro.core.pass_` for backward compatibility).
 """
 
-from .align_cache import AlignmentCache
+from .align_cache import ALIGN_CACHE_ENV, AlignmentCache
 from .base import Stage, StageStats
 from .engine import MergeEngine
 from .plan import CommitEvents, MergePlan, PlanDecision
 from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
 from .scheduler import (EXECUTORS, MergeScheduler, PlanExecutor,
-                        SerialExecutor, ThreadExecutor, make_executor)
+                        PlanningError, SerialExecutor, ThreadExecutor,
+                        make_executor)
 from .search import (SEARCHERS, IndexedCandidateSearcher, make_searcher)
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
                      PreprocessStage, ProfitabilityStage)
 
 __all__ = [
-    "AlignmentCache",
+    "ALIGN_CACHE_ENV", "AlignmentCache",
     "MergeEngine",
-    "MergeScheduler", "PlanExecutor", "SerialExecutor", "ThreadExecutor",
-    "EXECUTORS", "make_executor",
+    "MergeScheduler", "PlanExecutor", "PlanningError", "SerialExecutor",
+    "ThreadExecutor", "EXECUTORS", "make_executor",
     "MergePlan", "PlanDecision", "CommitEvents",
     "ProfitBoundIndex",
     "Stage", "StageStats",

@@ -9,9 +9,13 @@ sequences*, so textually different function pairs keep asking for the very
 same DP.
 
 :class:`AlignmentCache` memoises alignments by **content**, not by function
-name: the key is ``(digest(keys1), digest(keys2), scoring, kernel)``, where
-the digests come from :meth:`LinearizedFunction.content_digest` (a BLAKE2b
-hash of the integer equivalence-key sequence).  Two consequences fall out:
+name: the key is ``(digest(keys1), digest(keys2), scoring)``, where the
+digests come from :meth:`LinearizedFunction.canonical_digest` (a BLAKE2b
+hash of the *structural* equivalence-key sequence, independent of any
+interner's id assignment).  The kernel is deliberately **not** part of the
+key: every keyed kernel (pure, banded, NumPy - full or certificate-banded)
+is bit-identical by construction, so an entry computed by one kernel
+satisfies a lookup from any other.  Two consequences fall out:
 
 * **Invalidation is automatic.**  When a commit rewrites a function,
   ``LinearizeStage.invalidate`` drops its cached linearization; the fresh
@@ -34,19 +38,53 @@ construction) depends only on the key sequences and the scoring scheme.
 The cache is a bounded LRU and thread-safe: planners running under
 ``jobs>1`` share it behind one lock (the critical sections are dict ops,
 orders of magnitude cheaper than the DP they save).
+
+Because canonical digests are interner-independent, entries are also valid
+**across runs**: :meth:`AlignmentCache.save` writes a versioned, checksummed
+JSON snapshot and :meth:`AlignmentCache.load` warm-starts a cache from one.
+A corrupt, truncated or version-mismatched snapshot degrades to a cold
+cache with a warning - never an exception - so a shared cache file can
+never break a build.  Hits satisfied by snapshot-loaded entries are counted
+separately (``cross_run_hits``) so warm-start effectiveness is observable
+in ``MergeReport.scheduler_stats``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..alignment import AlignedEntry, AlignmentResult
 
-#: Rough per-entry bookkeeping cost (two 16-byte digests, the scoring and
-#: kernel key parts, dict/OrderedDict slots) used for the ``bytes`` stat.
+#: Rough per-entry bookkeeping cost (two 16-byte digests, the scoring key
+#: parts, dict/OrderedDict slots) used for the ``bytes`` stat.
 _ENTRY_OVERHEAD = 160
+
+#: On-disk snapshot format marker and version.  Bump the version whenever
+#: the entry layout or the key derivation changes; older snapshots are then
+#: rejected (with a warning) instead of silently misinterpreted.
+SNAPSHOT_FORMAT = "repro-align-cache"
+SNAPSHOT_VERSION = 1
+
+#: Environment knob naming a shared snapshot file: engines without an
+#: explicit ``alignment_cache_path`` load it before each run and save back
+#: after, so every module of an evaluation suite warm-starts from one cache.
+ALIGN_CACHE_ENV = "REPRO_ALIGN_CACHE"
+
+
+def _entries_checksum(entries: List[list]) -> str:
+    """BLAKE2b checksum of the snapshot's entry list (canonical JSON)."""
+    payload = json.dumps(entries, separators=(",", ":"), sort_keys=True)
+    return hashlib.blake2b(payload.encode("ascii"), digest_size=16).hexdigest()
+
+
+class _SnapshotError(ValueError):
+    """A snapshot file exists but cannot be trusted (the reason says why)."""
 
 
 def ops_of(entries: List[AlignedEntry]) -> str:
@@ -87,9 +125,13 @@ class AlignmentCache:
         self._data: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self._bytes = 0
+        #: Keys whose entries came from a snapshot (not computed this run);
+        #: hits against them are counted as ``cross_run_hits`` too.
+        self._persisted: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.cross_run_hits = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -103,28 +145,37 @@ class AlignmentCache:
                 return None
             self._data.move_to_end(key)
             self.hits += 1
+            if key in self._persisted:
+                self.cross_run_hits += 1
             return value
 
     def put(self, key: tuple, ops: str, score: int) -> None:
         with self._lock:
-            existing = self._data.pop(key, None)
-            if existing is not None:
-                self._bytes -= len(existing[0]) + _ENTRY_OVERHEAD
-            self._data[key] = (ops, score)
-            self._bytes += len(ops) + _ENTRY_OVERHEAD
-            while len(self._data) > self.capacity:
-                _, (old_ops, _) = self._data.popitem(last=False)
-                self._bytes -= len(old_ops) + _ENTRY_OVERHEAD
-                self.evictions += 1
+            self._put_locked(key, ops, score)
+
+    def _put_locked(self, key: tuple, ops: str, score: int) -> None:
+        existing = self._data.pop(key, None)
+        if existing is not None:
+            self._bytes -= len(existing[0]) + _ENTRY_OVERHEAD
+        self._persisted.discard(key)  # computed (again) this run
+        self._data[key] = (ops, score)
+        self._bytes += len(ops) + _ENTRY_OVERHEAD
+        while len(self._data) > self.capacity:
+            old_key, (old_ops, _) = self._data.popitem(last=False)
+            self._persisted.discard(old_key)
+            self._bytes -= len(old_ops) + _ENTRY_OVERHEAD
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry and reset the counters (fresh per engine run)."""
         with self._lock:
             self._data.clear()
+            self._persisted.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.cross_run_hits = 0
 
     def stats_dict(self, prefix: str = "align_cache_") -> Dict[str, int]:
         """Counters for ``MergeReport.scheduler_stats``."""
@@ -132,8 +183,10 @@ class AlignmentCache:
             return {
                 prefix + "hits": self.hits,
                 prefix + "misses": self.misses,
+                prefix + "cross_run_hits": self.cross_run_hits,
                 prefix + "evictions": self.evictions,
                 prefix + "entries": len(self._data),
+                prefix + "persisted_entries": len(self._persisted),
                 prefix + "bytes": self._bytes,
             }
 
@@ -141,3 +194,145 @@ class AlignmentCache:
         with self._lock:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
+
+    # -- cross-run persistence ----------------------------------------------
+    @staticmethod
+    def _encode_key(key: tuple) -> Optional[list]:
+        """Snapshot row for one in-memory key, or None if not serializable
+        (custom keys injected by tests keep working, they just don't
+        persist)."""
+        if len(key) != 3:
+            return None
+        digest1, digest2, scoring = key
+        if not (isinstance(digest1, bytes) and isinstance(digest2, bytes)
+                and isinstance(scoring, tuple) and len(scoring) == 3
+                and all(isinstance(part, int) for part in scoring)):
+            return None
+        return [digest1.hex(), digest2.hex(), list(scoring)]
+
+    @staticmethod
+    def _decode_key(row) -> tuple:
+        """Inverse of :meth:`_encode_key`; raises ValueError on bad rows."""
+        digest1, digest2, scoring = row
+        if not (isinstance(digest1, str) and isinstance(digest2, str)
+                and isinstance(scoring, list) and len(scoring) == 3
+                and all(isinstance(part, int) and not isinstance(part, bool)
+                        for part in scoring)):
+            raise ValueError("malformed snapshot key")
+        return (bytes.fromhex(digest1), bytes.fromhex(digest2),
+                tuple(scoring))
+
+    def save(self, path: str) -> bool:
+        """Merge this cache's serializable entries into a snapshot file.
+
+        Entries already on disk that this cache no longer holds (typically
+        because the LRU evicted them under capacity pressure) are kept, so
+        a snapshot shared across the modules of a suite *accumulates*
+        alignments instead of shrinking to whatever the last run's LRU
+        happened to retain; an unreadable or corrupt existing file is
+        simply replaced.  The snapshot is format-tagged, versioned and
+        checksummed; writes go through a temporary file and an atomic
+        rename so concurrent readers never observe a torn file.  Failures
+        (unwritable path, full disk) warn and return False instead of
+        raising - persistence is an optimization, never a correctness
+        requirement.
+        """
+        try:
+            on_disk = self._parse_snapshot(path)
+        except (_SnapshotError, OSError, ValueError):
+            on_disk = []  # being overwritten anyway
+        merged: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict(
+            (key, (ops, score)) for key, ops, score in on_disk)
+        with self._lock:
+            for key, (ops, score) in self._data.items():
+                if self._encode_key(key) is not None:
+                    merged.pop(key, None)
+                    merged[key] = (ops, score)  # this run's entries newest
+        entries = [self._encode_key(key) + [ops, score]
+                   for key, (ops, score) in merged.items()]
+        snapshot = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "entries": entries,
+            "checksum": _entries_checksum(entries),
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump(snapshot, handle, separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except OSError as error:
+            warnings.warn(f"could not save alignment-cache snapshot to "
+                          f"{path!r}: {error}", RuntimeWarning, stacklevel=2)
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def _parse_snapshot(self, path: str) -> List[tuple]:
+        """Parse a snapshot file into ``(key, ops, score)`` tuples.
+
+        Raises FileNotFoundError for a missing file, OSError/ValueError for
+        an unreadable one and :class:`_SnapshotError` (whose message names
+        the reason) for a file that parses but cannot be trusted.
+        """
+        with open(path, "r") as handle:
+            snapshot = json.load(handle)
+        if not isinstance(snapshot, dict) \
+                or snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise _SnapshotError("not an alignment-cache snapshot")
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise _SnapshotError(
+                f"format version {snapshot.get('version')!r} does not match "
+                f"{SNAPSHOT_VERSION} (stale file?)")
+        entries = snapshot.get("entries")
+        if not isinstance(entries, list):
+            raise _SnapshotError("malformed entry table")
+        if snapshot.get("checksum") != _entries_checksum(entries):
+            raise _SnapshotError(
+                "checksum mismatch (truncated or corrupted file)")
+        decoded = []
+        try:
+            for row in entries:
+                key = self._decode_key(row[:3])
+                ops, score = row[3], row[4]
+                if not (isinstance(ops, str) and set(ops) <= {"m", "l", "r"}
+                        and isinstance(score, int)
+                        and not isinstance(score, bool)):
+                    raise ValueError("malformed snapshot entry")
+                decoded.append((key, ops, score))
+        except (ValueError, IndexError, TypeError) as error:
+            raise _SnapshotError(f"malformed entry ({error})") from error
+        return decoded
+
+    def load(self, path: str) -> int:
+        """Warm-start the cache from a snapshot written by :meth:`save`.
+
+        Returns the number of entries loaded.  Every failure mode - missing
+        file, unreadable file, malformed JSON, wrong format tag, version
+        mismatch, checksum mismatch, malformed entries - degrades to a cold
+        cache with a warning (except a simply-missing file, which is the
+        normal first run of a fresh cache path and stays silent).
+        """
+        try:
+            decoded = self._parse_snapshot(path)
+        except FileNotFoundError:
+            return 0
+        except _SnapshotError as error:
+            warnings.warn(f"ignoring alignment-cache snapshot {path!r}: "
+                          f"{error}", RuntimeWarning, stacklevel=2)
+            return 0
+        except (OSError, ValueError) as error:
+            warnings.warn(f"ignoring unreadable alignment-cache snapshot "
+                          f"{path!r}: {error}", RuntimeWarning, stacklevel=2)
+            return 0
+
+        with self._lock:
+            # newest-first so the LRU keeps the most recently stored entries
+            # when the snapshot exceeds the capacity
+            for key, ops, score in decoded[-self.capacity:]:
+                self._put_locked(key, ops, score)
+                self._persisted.add(key)
+        return min(len(decoded), self.capacity)

@@ -38,7 +38,7 @@ from ...targets.cost_model import TargetCostModel
 from ...targets.x86_64 import X86_64
 from ..codegen import CodegenError, MergeOptions
 from ..fingerprint import Fingerprint
-from .align_cache import AlignmentCache
+from .align_cache import ALIGN_CACHE_ENV, AlignmentCache
 from .base import Stage
 from .plan import CommitEvents, MergePlan, PlanDecision
 from .prune import ProfitBoundIndex
@@ -74,6 +74,7 @@ class MergeEngine:
                  keyed_alignment: bool = True,
                  alignment_kernel: Optional[str] = None,
                  alignment_cache: Union[bool, int] = True,
+                 alignment_cache_path: Optional[str] = None,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
@@ -116,6 +117,19 @@ class MergeEngine:
                 content (default).  Pass an int to bound the LRU at that
                 many entries, ``False`` to disable.  Hit/miss/bytes counters
                 land in ``MergeReport.scheduler_stats``.
+            alignment_cache_path: snapshot file for cross-run cache
+                persistence.  When set (or via the ``REPRO_ALIGN_CACHE``
+                environment variable), every :meth:`run` warm-starts the
+                alignment cache from the snapshot and saves the union back
+                afterwards, so repeated runs - and every module of an
+                evaluation suite sharing one path - skip alignments any
+                earlier run already computed.  Keys are canonical
+                (interner-independent) content digests, so warm entries are
+                bit-identical to recomputation; a corrupt or
+                version-mismatched snapshot degrades to a cold cache with a
+                warning.  Cross-run hits are surfaced as
+                ``align_cache_cross_run_hits`` in
+                ``MergeReport.scheduler_stats``.
             jobs: how many worklist entries to plan concurrently (default:
                 ``REPRO_ENGINE_JOBS`` or 1).  Merge decisions are identical
                 for every value.
@@ -172,6 +186,10 @@ class MergeEngine:
             self.align_cache = AlignmentCache(int(alignment_cache))
         else:
             self.align_cache = None
+        if alignment_cache_path is None:
+            alignment_cache_path = os.environ.get(
+                ALIGN_CACHE_ENV, "").strip() or None
+        self.alignment_cache_path = alignment_cache_path
 
         self.preprocess = PreprocessStage()
         self.fingerprint = FingerprintStage(searcher, self.profit_bounds)
@@ -322,6 +340,18 @@ class MergeEngine:
         return tuple((c.function_name, c.score, c.position)
                      for c in self.candidate_search.query(name, limit))
 
+    def _plan_content_key(self, name: str) -> Optional[bytes]:
+        """Canonical content digest of an entry's body - the scheduler's
+        cache-aware grouping key.  Uses (and warms) the linearize stage's
+        per-function cache, so this never duplicates planner work; returns
+        None for stale entries, which the scheduler treats as unique."""
+        if name not in self._available:
+            return None
+        function = self._module.get_function(name)
+        if function is None:
+            return None
+        return self.linearize.get(function).canonical_digest()
+
     def _absorb_plan(self, plan: MergePlan) -> None:
         report = self._report
         report.candidates_evaluated += plan.candidates_evaluated
@@ -413,7 +443,12 @@ class MergeEngine:
             plan=self.plan_entry, commit=self.commit_plan,
             query_key=self._query_key, absorb=self._absorb_plan,
             executor=make_executor(self.executor_kind, self.jobs),
-            batch_size=self.batch_size)
+            batch_size=self.batch_size,
+            # cache-aware wave planning only pays off when the alignment
+            # stage actually consults the cache; on the generic predicate
+            # path the grouping would be pure overhead
+            content_key=(self._plan_content_key
+                         if self.alignment.uses_cache else None))
 
     def run(self, module: Module,
             scheduler: Optional[MergeScheduler] = None) -> MergeReport:
@@ -421,9 +456,13 @@ class MergeEngine:
             stage.reset()
         self.linearize.clear()
         if self.align_cache is not None:
-            # content-addressed entries would stay *correct* across runs,
-            # but per-run stats (and the fresh interner) argue for a reset
+            # canonical content addressing keeps entries *correct* across
+            # runs, but per-run stats argue for a reset; cross-run reuse
+            # goes through the explicit snapshot path below instead
             self.align_cache.clear()
+            if (self.alignment_cache_path is not None
+                    and self.alignment.uses_cache):
+                self.align_cache.load(self.alignment_cache_path)
         # the original pass built a fresh ranker per run(): a reused engine
         # must not rank against the previous module's fingerprints
         self.fingerprint.clear()
@@ -468,6 +507,12 @@ class MergeEngine:
         report.stale_entries = scheduler.stats["stale_entries"]
         report.scheduler_stats = dict(scheduler.stats)
         if self.align_cache is not None:
+            if (self.alignment_cache_path is not None
+                    and self.alignment.uses_cache):
+                # save() merges with the snapshot on disk, so the shared
+                # file accumulates alignments across modules of a suite
+                # even when this run's LRU evicted some of them
+                self.align_cache.save(self.alignment_cache_path)
             report.scheduler_stats.update(self.align_cache.stats_dict())
         report.stage_times = self._legacy_stage_times()
         report.stage_stats = self.stage_stats()

@@ -42,6 +42,21 @@ from typing import Callable, Dict, List, Optional
 from .plan import CommitEvents, MergePlan
 
 
+class PlanningError(RuntimeError):
+    """A planner callback raised while evaluating one worklist entry.
+
+    Raised in place of the original exception (which stays attached as
+    ``__cause__``) so a failure surfacing from a thread-pool ``map`` names
+    the worklist entry it belongs to - otherwise a ``jobs>1`` traceback
+    gives no hint which of the batched entries blew up.
+    """
+
+    def __init__(self, entry: str, cause: BaseException):
+        super().__init__(f"planning worklist entry {entry!r} failed: "
+                         f"{type(cause).__name__}: {cause}")
+        self.entry = entry
+
+
 class PlanExecutor:
     """Strategy interface: map the planner over one batch of entries."""
 
@@ -121,6 +136,15 @@ class MergeScheduler:
       evaluated, codegen failures, prunes) into the report.  Discarded
       plans - stale entries and conflict-requeued work - are never
       absorbed, so the reported counters match the serial engine exactly.
+    * ``content_key`` (optional) - a stable content address for an entry's
+      function body (the engine supplies the linearization's canonical
+      digest).  When present, the scheduler plans **cache-aware**: batch
+      entries whose content duplicates an earlier entry in the same batch
+      are planned in a second wave, after the first wave has populated the
+      alignment cache, so duplicate candidate pairs run the DP once and the
+      duplicates hit.  Planning is read-only and both waves see the same
+      module state, so decisions are unchanged; only the plan order within
+      the batch moves, never the commit order.
     """
 
     def __init__(self, plan: Callable[[str], Optional[MergePlan]],
@@ -128,12 +152,14 @@ class MergeScheduler:
                  query_key: Callable[[str, int], tuple],
                  absorb: Callable[[MergePlan], None],
                  executor: PlanExecutor,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 content_key: Optional[Callable[[str], Optional[bytes]]] = None):
         self.plan = plan
         self.commit = commit
         self.query_key = query_key
         self.absorb = absorb
         self.executor = executor
+        self.content_key = content_key
         if batch_size is None:
             batch_size = 1 if executor.jobs <= 1 else executor.jobs * 4
         self.batch_size = max(1, batch_size)
@@ -147,6 +173,7 @@ class MergeScheduler:
             "conflicts": 0,
             "replans": 0,
             "wasted_evaluations": 0,
+            "content_dup_deferred": 0,
         }
         #: Called after every commit with (plan, events) - used by tests to
         #: cross-check incremental state against from-scratch rebuilds.
@@ -160,6 +187,46 @@ class MergeScheduler:
         # add one): the plan stands only if it still reproduces the ranking
         return self.query_key(plan.name, plan.limit) == plan.candidate_key
 
+    # -- planning ----------------------------------------------------------------
+    def _plan_one(self, name: str) -> Optional[MergePlan]:
+        """Plan one entry, naming the entry on failure (a bare exception
+        escaping a thread-pool map would not say which entry it came from)."""
+        try:
+            return self.plan(name)
+        except PlanningError:
+            raise
+        except Exception as error:
+            raise PlanningError(name, error) from error
+
+    def _plan_batch(self, batch: List[str]) -> List[Optional[MergePlan]]:
+        """Plan a batch, cache-aware when a ``content_key`` is available:
+        entries whose body content duplicates an earlier entry of the batch
+        are deferred to a second wave so their alignments hit the cache
+        entries the first wave just computed."""
+        if self.content_key is None or len(batch) == 1:
+            return self.executor.map(self._plan_one, batch)
+        seen: set = set()
+        leaders: List[int] = []
+        followers: List[int] = []
+        for index, name in enumerate(batch):
+            key = self.content_key(name)
+            if key is not None and key in seen:
+                followers.append(index)
+            else:
+                if key is not None:
+                    seen.add(key)
+                leaders.append(index)
+        if not followers:
+            return self.executor.map(self._plan_one, batch)
+        self.stats["content_dup_deferred"] += len(followers)
+        plans: List[Optional[MergePlan]] = [None] * len(batch)
+        for wave in (leaders, followers):
+            wave_plans = self.executor.map(self._plan_one,
+                                           [batch[i] for i in wave])
+            for index, plan in zip(wave, wave_plans):
+                plans[index] = plan
+        return plans
+
     # -- driver ------------------------------------------------------------------
     def run(self, worklist: deque, available: set) -> None:
         stats = self.stats
@@ -169,9 +236,9 @@ class MergeScheduler:
                 batch.append(worklist.popleft())
 
             if len(batch) == 1:
-                plans = [self.plan(batch[0])]
+                plans = [self._plan_one(batch[0])]
             else:
-                plans = self.executor.map(self.plan, batch)
+                plans = self._plan_batch(batch)
             stats["batches"] += 1
             stats["planned"] += len(batch)
 
@@ -190,8 +257,8 @@ class MergeScheduler:
                     stats["conflicts"] += 1
                     stats["wasted_evaluations"] += plan.candidates_evaluated
                     plan.discard()
-                    plan = self.plan(name)  # requeue: replan against the
-                    stats["replans"] += 1   # current module state
+                    plan = self._plan_one(name)  # requeue: replan against
+                    stats["replans"] += 1        # the current module state
                     if plan is None:
                         stats["stale_entries"] += 1
                         continue

@@ -131,14 +131,20 @@ class IndexedCandidateSearcher:
             self._ty_postings.setdefault(fid, set()).add(name)
 
     def _unindex(self, entry: _IndexedFingerprint) -> None:
+        # drop posting sets that become empty: a long add/remove churn must
+        # not leave one dead set per feature ever seen behind
         for fid in entry.op_ids:
             postings = self._op_postings.get(fid)
             if postings is not None:
                 postings.discard(entry.name)
+                if not postings:
+                    del self._op_postings[fid]
         for fid in entry.ty_ids:
             postings = self._ty_postings.get(fid)
             if postings is not None:
                 postings.discard(entry.name)
+                if not postings:
+                    del self._ty_postings[fid]
 
     def remove_function(self, name: str) -> None:
         entry = self._entries.pop(name, None)

@@ -264,7 +264,9 @@ class AlignmentStage(Stage):
     attached, keyed alignments are memoised by linearization content: a
     cache hit skips the DP entirely and rehydrates the stored alignment
     shape against this pair's entries (bit-identical to recomputation, see
-    the cache module docstring).
+    the cache module docstring).  The cache key is the pair's *canonical*
+    digests plus the scoring scheme - interner-independent, and shared
+    across kernels because every keyed kernel produces identical results.
     """
 
     name = "align"
@@ -290,6 +292,14 @@ class AlignmentStage(Stage):
         self.cache = cache
         self._scoring_key = (scoring.match, scoring.mismatch, scoring.gap)
 
+    @property
+    def uses_cache(self) -> bool:
+        """True when this stage's configuration actually consults the
+        cache: a cache is attached *and* the keyed dispatch is active (the
+        generic predicate path never reads it)."""
+        return (self.cache is not None and self.keyed
+                and self.algorithm in self.KEYED_KERNELS)
+
     def align_pair(self, lin1: LinearizedFunction,
                    lin2: LinearizedFunction) -> AlignmentResult:
         return self.timed(self._align, lin1, lin2)
@@ -304,8 +314,11 @@ class AlignmentStage(Stage):
                     self.stats.bump("keyed")
                     return kernel(lin1.entries, lin2.entries,
                                   lin1.keys, lin2.keys, self.scoring)
-                key = (lin1.content_digest(), lin2.content_digest(),
-                       self._scoring_key, self.algorithm)
+                # canonical (interner-independent) digests, no kernel: every
+                # keyed kernel is bit-identical by construction, so entries
+                # transfer across kernel configs, interners and runs
+                key = (lin1.canonical_digest(), lin2.canonical_digest(),
+                       self._scoring_key)
                 cached = cache.get(key)
                 if cached is not None:
                     self.stats.bump("cache_hits")

@@ -217,6 +217,68 @@ def entry_equivalence_key(entry: LinearEntry) -> Optional[tuple]:
     return ("inst",) + key
 
 
+# ---------------------------------------------------------------------------
+# Stable structural serialization (the cross-run cache representation)
+# ---------------------------------------------------------------------------
+
+#: Byte marker encoding a never-equivalent entry (a call whose callee
+#: function type cannot be determined).  Distinct from every structural key
+#: encoding - those always start with ``(`` - so it can never collide with a
+#: real equivalence class.  Two sequences that both carry the marker at the
+#: same position still produce identical alignments: a never-equivalent
+#: entry matches *nothing* in the opposite sequence, which is exactly how
+#: every keyed kernel treats it (each occurrence gets a fresh negative
+#: interner id), so the match/mismatch matrix the DP sees is fully
+#: determined by the canonical sequence.
+NEVER_EQUIVALENT_MARKER = b"!"
+
+
+def _encode_into(value, out: List[bytes]) -> None:
+    # bool before int: True/False are ints but must not alias 1/0 keys
+    if isinstance(value, bool):
+        out.append(b"b1" if value else b"b0")
+    elif isinstance(value, int):
+        out.append(b"i%d;" % value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(value, tuple):
+        out.append(b"(")
+        for item in value:
+            _encode_into(item, out)
+        out.append(b")")
+    elif value is None:
+        out.append(b"N")
+    elif isinstance(value, float):
+        out.append(b"f" + repr(value).encode("ascii") + b";")
+    else:
+        raise TypeError(
+            f"equivalence keys must be built from tuples of primitives; "
+            f"cannot canonically encode {type(value).__name__!r} ({value!r})")
+
+
+def encode_equivalence_key(key: Optional[tuple]) -> bytes:
+    """Stable byte serialization of a canonical equivalence key.
+
+    The encoding is *structural*: it depends only on the key's content
+    (opcodes, type shapes, immediate attributes), never on interner ids or
+    insertion order, and it is injective - two keys encode to the same bytes
+    exactly when they are equal.  Each encoding is self-delimiting, so
+    concatenating the per-entry encodings of a key sequence stays injective;
+    that concatenation is what :meth:`LinearizedFunction.canonical_digest`
+    hashes, making digests comparable across interners, modules and runs.
+
+    ``None`` (the never-equivalent corner case) encodes to
+    :data:`NEVER_EQUIVALENT_MARKER`.
+    """
+    if key is None:
+        return NEVER_EQUIVALENT_MARKER
+    out: List[bytes] = []
+    _encode_into(key, out)
+    return b"".join(out)
+
+
 class EquivalenceKeyInterner:
     """Maps canonical equivalence keys to dense integers.
 

@@ -122,12 +122,13 @@ def linearize_with_keys(function: Function, traversal: str = "rpo",
 class LinearizedFunction:
     """A linearized function plus per-entry equivalence keys."""
 
-    __slots__ = ("entries", "keys", "_digest")
+    __slots__ = ("entries", "keys", "_digest", "_canonical_digest")
 
     def __init__(self, entries: List[LinearEntry], keys: List[int]):
         self.entries = entries
         self.keys = keys
         self._digest: Union[bytes, None] = None
+        self._canonical_digest: Union[bytes, None] = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -152,6 +153,36 @@ class LinearizedFunction:
             h = hashlib.blake2b(digest_size=16)
             h.update(",".join(map(str, self.keys)).encode("ascii"))
             digest = self._digest = h.digest()
+        return digest
+
+    def canonical_digest(self) -> bytes:
+        """128-bit BLAKE2b digest of the *structural* equivalence-key
+        sequence - the linearization's interner-independent content address.
+
+        Unlike :meth:`content_digest` (which hashes the per-run interner
+        ids), this digest is computed from the canonical equivalence keys
+        themselves via :func:`repro.core.equivalence.encode_equivalence_key`:
+        two linearizations - whether keyed by the same interner, different
+        interners, or produced in different processes - get equal canonical
+        digests exactly when their key sequences are structurally equal
+        (each per-entry encoding is self-delimiting, so the concatenation is
+        injective; never-equivalent entries encode to a fixed marker that
+        cannot collide with a real class).  Since every keyed alignment
+        kernel depends only on the cross-sequence key-equality pattern, and
+        that pattern is fully determined by the two canonical sequences,
+        equal digest pairs always reproduce the same alignment shape - the
+        property the persistent alignment cache is built on.  Computed
+        lazily and cached, like :meth:`content_digest`.
+        """
+        digest = self._canonical_digest
+        if digest is None:
+            import hashlib
+            from .equivalence import (encode_equivalence_key,
+                                      entry_equivalence_key)
+            h = hashlib.blake2b(digest_size=16)
+            for entry in self.entries:
+                h.update(encode_equivalence_key(entry_equivalence_key(entry)))
+            digest = self._canonical_digest = h.digest()
         return digest
 
 

@@ -47,6 +47,7 @@ class FunctionMergingPass(Pass):
                  keyed_alignment: bool = True,
                  alignment_kernel: Optional[str] = None,
                  alignment_cache: Union[bool, int] = True,
+                 alignment_cache_path: Optional[str] = None,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
@@ -83,6 +84,11 @@ class FunctionMergingPass(Pass):
                 for every kernel.
             alignment_cache: content-addressed memoisation of keyed
                 alignments (default on; int = LRU capacity).
+            alignment_cache_path: snapshot file for cross-run persistence
+                of the alignment cache (default: the ``REPRO_ALIGN_CACHE``
+                environment variable).  Runs sharing a path warm-start from
+                and save back to it; decisions are bit-identical either
+                way (see :class:`MergeEngine`).
             jobs / executor / batch_size: plan/commit scheduler knobs - how
                 many worklist entries are planned concurrently and in what
                 batches (see :class:`repro.core.engine.MergeScheduler`).
@@ -103,6 +109,7 @@ class FunctionMergingPass(Pass):
             minimum_function_size=minimum_function_size,
             searcher=searcher, keyed_alignment=keyed_alignment,
             alignment_kernel=alignment_kernel, alignment_cache=alignment_cache,
+            alignment_cache_path=alignment_cache_path,
             jobs=jobs, executor=executor, batch_size=batch_size,
             incremental_callgraph=incremental_callgraph,
             oracle_prune=oracle_prune,

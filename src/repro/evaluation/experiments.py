@@ -61,6 +61,13 @@ class EvaluationSettings:
     #: merge options; ``"nw-numpy"`` selects the vectorized backend).
     #: Identical merge decisions for every kernel.
     alignment_kernel: Optional[str] = None
+    #: Shared alignment-cache snapshot path (``None`` = REPRO_ALIGN_CACHE):
+    #: every benchmark x configuration of the suite warm-starts the
+    #: alignment cache from this file and saves back to it, so repeated
+    #: suite runs (and the later configurations of one run) skip alignment
+    #: DPs an earlier compilation already computed.  Only effective with
+    #: ``keyed_alignment=True``; identical merge decisions either way.
+    alignment_cache_path: Optional[str] = None
     #: Plan/commit scheduler parallelism (None = engine default); identical
     #: merge decisions for every value.
     jobs: Optional[int] = None
@@ -155,6 +162,7 @@ def evaluate_suite(settings: Optional[EvaluationSettings] = None,
                     searcher=settings.searcher,
                     keyed_alignment=settings.keyed_alignment,
                     alignment_kernel=settings.alignment_kernel,
+                    alignment_cache_path=settings.alignment_cache_path,
                     jobs=settings.jobs)
                 result.technique = _config_label(config)
                 evaluation.results[(benchmark, target, result.technique)] = result

@@ -170,6 +170,7 @@ def compile_module(module: Module, technique: str, *,
                    searcher: str = "indexed",
                    keyed_alignment: bool = True,
                    alignment_kernel: Optional[str] = None,
+                   alignment_cache_path: Optional[str] = None,
                    jobs: Optional[int] = None) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
@@ -184,6 +185,13 @@ def compile_module(module: Module, technique: str, *,
     vectorized one) and the plan/commit scheduler's parallelism; every
     choice produces identical merge decisions and only changes the stage
     timings (the knobs the engine microbenchmarks sweep).
+
+    ``alignment_cache_path`` (default: the ``REPRO_ALIGN_CACHE`` environment
+    variable) names a shared alignment-cache snapshot: every module compiled
+    against the same path warm-starts from the alignments earlier
+    compilations stored there, which is how a suite evaluation amortizes
+    the Needleman-Wunsch work across its benchmarks.  Decisions stay
+    bit-identical with the cache cold, warm or absent.
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -223,7 +231,8 @@ def compile_module(module: Module, technique: str, *,
                 options=merge_options or MergeOptions(),
                 hot_function_filter=hot_filter,
                 searcher=searcher, keyed_alignment=keyed_alignment,
-                alignment_kernel=alignment_kernel, jobs=jobs)
+                alignment_kernel=alignment_kernel,
+                alignment_cache_path=alignment_cache_path, jobs=jobs)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

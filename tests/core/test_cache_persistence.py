@@ -1,0 +1,408 @@
+"""Tests for cross-run persistence of the alignment cache.
+
+Covers the snapshot round trip (save/load, versioning, checksum), every
+degrade-to-cold failure mode (corrupt JSON, wrong format tag, version
+mismatch, checksum mismatch, malformed entries - all warn, never raise),
+the ``alignment_cache_path`` / ``REPRO_ALIGN_CACHE`` wiring through
+engine/pass/pipeline, the >= 90% warm hit-rate acceptance bar on family
+workloads, and decision parity across {no cache, cold, warm, persisted}
+x kernels x jobs.
+"""
+
+import json
+import os
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FunctionMergingPass, MergeEngine, numpy_available
+from repro.core.engine.align_cache import (ALIGN_CACHE_ENV, SNAPSHOT_VERSION,
+                                           AlignmentCache)
+from repro.evaluation.pipeline import compile_module
+from repro.ir import Module
+from repro.workloads import FamilySpec, FunctionSpec, make_family
+
+
+def build_module(seed=7, families=5):
+    module = Module(f"persist_{seed}")
+    rng = random.Random(seed)
+    for index in range(families):
+        spec = FunctionSpec(
+            f"fam{index}",
+            num_blocks=2 + (index + seed) % 3,
+            instructions_per_block=4 + ((index + seed) % 4) * 2,
+            call_ratio=0.3, memory_ratio=0.2,
+            returns_float=bool((index + seed) % 5 == 1),
+            seed=100 + 13 * seed + index)
+        make_family(module, spec,
+                    FamilySpec(identical=2, structural=2, partial=1), rng)
+    return module
+
+
+def decisions(report):
+    return [(m.function1, m.function2, m.merged_name, m.rank_position, m.delta)
+            for m in report.merges]
+
+
+def hit_rate(report):
+    stats = report.scheduler_stats
+    total = stats["align_cache_hits"] + stats["align_cache_misses"]
+    return stats["align_cache_hits"] / total if total else 0.0
+
+
+def _digest_key(byte1, byte2, scoring=(1, -1, -1)):
+    return (bytes([byte1] * 16), bytes([byte2] * 16), scoring)
+
+
+# -- snapshot round trip ------------------------------------------------------
+
+class TestSnapshotRoundTrip:
+    def test_save_load_preserves_entries_and_marks_persisted(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        cache.put(_digest_key(1, 2), "mmlr", 3)
+        cache.put(_digest_key(3, 4, (2, -3, -2)), "m", 1)
+        assert cache.save(path)
+
+        fresh = AlignmentCache()
+        assert fresh.load(path) == 2
+        assert fresh.get(_digest_key(1, 2)) == ("mmlr", 3)
+        assert fresh.get(_digest_key(3, 4, (2, -3, -2))) == ("m", 1)
+        assert fresh.get(_digest_key(9, 9)) is None
+        assert fresh.hits == 2 and fresh.cross_run_hits == 2
+        stats = fresh.stats_dict()
+        assert stats["align_cache_cross_run_hits"] == 2
+        assert stats["align_cache_persisted_entries"] == 2
+
+    def test_entries_computed_this_run_are_not_cross_run_hits(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        cache.put(_digest_key(1, 2), "mm", 2)
+        cache.save(path)
+        cache.clear()
+        cache.load(path)
+        cache.put(_digest_key(1, 2), "mm", 2)  # recomputed: no longer warm
+        cache.get(_digest_key(1, 2))
+        assert cache.hits == 1 and cache.cross_run_hits == 0
+
+    def test_unserializable_keys_are_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        cache.put(("custom-test-key",), "m", 1)
+        cache.put(_digest_key(5, 6), "ml", 0)
+        assert cache.save(path)
+        fresh = AlignmentCache()
+        assert fresh.load(path) == 1
+        assert fresh.get(_digest_key(5, 6)) == ("ml", 0)
+
+    def test_load_respects_capacity_keeping_newest(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        for index in range(10):
+            cache.put(_digest_key(index, index), "m" * (index + 1), index)
+        cache.save(path)
+        small = AlignmentCache(capacity=3)
+        assert small.load(path) == 3
+        assert len(small) == 3
+        assert small.get(_digest_key(9, 9)) == ("m" * 10, 9)
+        assert small.get(_digest_key(0, 0)) is None
+
+    def test_save_merges_with_entries_already_on_disk(self, tmp_path):
+        # a small LRU must not shrink the shared snapshot: entries evicted
+        # (or never held) by this run's cache survive the save
+        path = str(tmp_path / "cache.json")
+        first = AlignmentCache(capacity=2)
+        first.put(_digest_key(1, 1), "m", 1)
+        first.put(_digest_key(2, 2), "mm", 2)
+        first.save(path)
+        second = AlignmentCache(capacity=2)
+        second.put(_digest_key(3, 3), "mmm", 3)
+        second.put(_digest_key(4, 4), "mmmm", 4)
+        second.save(path)
+
+        union = AlignmentCache()
+        assert union.load(path) == 4
+        for byte, ops, score in ((1, "m", 1), (2, "mm", 2),
+                                 (3, "mmm", 3), (4, "mmmm", 4)):
+            assert union.get(_digest_key(byte, byte)) == (ops, score)
+
+    def test_save_overwrites_duplicate_keys_with_this_runs_value(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        stale = AlignmentCache()
+        stale.put(_digest_key(1, 1), "m", 1)
+        stale.save(path)
+        current = AlignmentCache()
+        current.put(_digest_key(1, 1), "m", 1)
+        current.put(_digest_key(2, 2), "r", -1)
+        current.save(path)
+        fresh = AlignmentCache()
+        assert fresh.load(path) == 2
+
+    def test_missing_file_is_silent_cold_start(self, tmp_path):
+        cache = AlignmentCache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(str(tmp_path / "nope.json")) == 0
+        assert len(cache) == 0
+
+    def test_save_failure_warns_instead_of_raising(self, tmp_path):
+        cache = AlignmentCache()
+        cache.put(_digest_key(1, 2), "m", 1)
+        with pytest.warns(RuntimeWarning, match="could not save"):
+            assert not cache.save(str(tmp_path / "no" / "such" / "dir.json"))
+
+
+# -- failure modes degrade to a cold cache ------------------------------------
+
+class TestSnapshotRejection:
+    def _assert_cold(self, path, match):
+        cache = AlignmentCache()
+        with pytest.warns(RuntimeWarning, match=match):
+            assert cache.load(path) == 0
+        assert len(cache) == 0
+
+    def _write(self, tmp_path, payload) -> str:
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as handle:
+            handle.write(payload)
+        return path
+
+    def _valid_snapshot(self, tmp_path) -> str:
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        cache.put(_digest_key(1, 2), "mmm", 3)
+        cache.save(path)
+        return path
+
+    def test_garbage_json(self, tmp_path):
+        self._assert_cold(self._write(tmp_path, "{not json"), "unreadable")
+
+    def test_non_snapshot_json(self, tmp_path):
+        self._assert_cold(self._write(tmp_path, '{"hello": 1}'),
+                          "not an alignment-cache snapshot")
+
+    def test_version_mismatch(self, tmp_path):
+        path = self._valid_snapshot(tmp_path)
+        snapshot = json.load(open(path))
+        snapshot["version"] = SNAPSHOT_VERSION + 1
+        json.dump(snapshot, open(path, "w"))
+        self._assert_cold(path, "version")
+
+    def test_checksum_mismatch(self, tmp_path):
+        path = self._valid_snapshot(tmp_path)
+        snapshot = json.load(open(path))
+        snapshot["entries"][0][4] = 99  # tamper with a score
+        json.dump(snapshot, open(path, "w"))
+        self._assert_cold(path, "checksum")
+
+    def test_malformed_entry(self, tmp_path):
+        path = self._valid_snapshot(tmp_path)
+        snapshot = json.load(open(path))
+        snapshot["entries"][0][3] = "mxl"  # invalid op letter
+        from repro.core.engine.align_cache import _entries_checksum
+        snapshot["checksum"] = _entries_checksum(snapshot["entries"])
+        json.dump(snapshot, open(path, "w"))
+        self._assert_cold(path, "malformed")
+
+    def test_engine_survives_corrupt_snapshot(self, tmp_path):
+        path = self._write(tmp_path, "\x00\x01 not a snapshot")
+        with pytest.warns(RuntimeWarning):
+            report = FunctionMergingPass(
+                exploration_threshold=2,
+                alignment_cache_path=path).run(build_module())
+        assert report.merge_count >= 1
+        assert report.scheduler_stats["align_cache_cross_run_hits"] == 0
+        # the engine saved a fresh snapshot over the corrupt file
+        fresh = AlignmentCache()
+        assert fresh.load(path) > 0
+
+
+# -- engine / pass / pipeline wiring -----------------------------------------
+
+class TestEnginePersistence:
+    def test_second_run_hits_at_least_90_percent(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cold = FunctionMergingPass(
+            exploration_threshold=2,
+            alignment_cache_path=path).run(build_module())
+        warm = FunctionMergingPass(
+            exploration_threshold=2,
+            alignment_cache_path=path).run(build_module())
+        assert decisions(warm) == decisions(cold)
+        assert hit_rate(warm) >= 0.9
+        assert warm.scheduler_stats["align_cache_cross_run_hits"] > 0
+        assert warm.scheduler_stats["align_cache_misses"] == 0
+
+    def test_snapshot_accumulates_across_different_modules(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        FunctionMergingPass(exploration_threshold=2,
+                            alignment_cache_path=path).run(build_module(3))
+        after_first = len(json.load(open(path))["entries"])
+        FunctionMergingPass(exploration_threshold=2,
+                            alignment_cache_path=path).run(build_module(11))
+        after_second = len(json.load(open(path))["entries"])
+        assert after_second > after_first
+
+    def test_env_knob_selects_the_snapshot(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env_cache.json")
+        monkeypatch.setenv(ALIGN_CACHE_ENV, path)
+        FunctionMergingPass(exploration_threshold=2).run(build_module())
+        assert os.path.exists(path)
+        warm = FunctionMergingPass(exploration_threshold=2).run(build_module())
+        assert warm.scheduler_stats["align_cache_cross_run_hits"] > 0
+
+    def test_explicit_path_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ALIGN_CACHE_ENV, str(tmp_path / "env.json"))
+        explicit = str(tmp_path / "explicit.json")
+        engine = MergeEngine(alignment_cache_path=explicit)
+        assert engine.alignment_cache_path == explicit
+
+    def test_no_path_means_no_snapshot(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ALIGN_CACHE_ENV, raising=False)
+        engine = MergeEngine(exploration_threshold=2)
+        assert engine.alignment_cache_path is None
+        engine.run(build_module())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_cache_ignores_path(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        report = FunctionMergingPass(
+            exploration_threshold=2, alignment_cache=False,
+            alignment_cache_path=path).run(build_module())
+        assert report.merge_count >= 1
+        assert not os.path.exists(path)
+
+    def test_unkeyed_alignment_skips_snapshot_and_wave_planning(self, tmp_path):
+        # the generic predicate path never consults the cache, so a run on
+        # it must neither touch the snapshot nor pay for content grouping
+        path = str(tmp_path / "cache.json")
+        engine = MergeEngine(exploration_threshold=2, keyed_alignment=False,
+                             alignment_cache_path=path)
+        assert not engine.alignment.uses_cache
+        scheduler = engine.make_scheduler()
+        try:
+            assert scheduler.content_key is None
+        finally:
+            scheduler.close()
+        engine.run(build_module())
+        assert not os.path.exists(path)
+        # the keyed default does both
+        keyed = MergeEngine(exploration_threshold=2,
+                            alignment_cache_path=path)
+        assert keyed.alignment.uses_cache
+        keyed.run(build_module())
+        assert os.path.exists(path)
+
+    def test_pipeline_threads_the_path_through(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        compile_module(build_module(5), "fmsa", threshold=2,
+                       alignment_cache_path=path)
+        assert os.path.exists(path)
+        result = compile_module(build_module(5), "fmsa", threshold=2,
+                                alignment_cache_path=path)
+        stats = result.merge_report.scheduler_stats
+        assert stats["align_cache_cross_run_hits"] > 0
+
+
+# -- decision parity: cache modes x kernels x jobs ----------------------------
+
+#: Alignment kernels exercised by the parity matrix (None = engine default).
+KERNELS = [None, "nw-banded"] + (
+    ["nw-numpy", "nw-banded-numpy"] if numpy_available() else [])
+
+
+class TestCacheModeParity:
+    """Merge decisions are bit-identical with the cache off, cold, warm and
+    persisted, for every kernel x jobs x batch-size combination."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_cache_modes_never_change_decisions(self, tmp_path_factory, seed):
+        path = str(tmp_path_factory.mktemp("parity") / f"cache_{seed}.json")
+        reference = FunctionMergingPass(
+            exploration_threshold=2,
+            alignment_cache=False).run(build_module(seed))
+        for kernel in KERNELS:
+            for jobs, batch_size in ((1, 1), (2, 8), (8, 32)):
+                # cold in-memory cache (no snapshot)
+                cold = FunctionMergingPass(
+                    exploration_threshold=2, alignment_kernel=kernel,
+                    jobs=jobs, batch_size=batch_size).run(build_module(seed))
+                assert decisions(cold) == decisions(reference), \
+                    ("cold", kernel, jobs, batch_size)
+                # persisted: first run of this config saves, later runs of
+                # *every* config warm-start from the shared snapshot
+                persisted = FunctionMergingPass(
+                    exploration_threshold=2, alignment_kernel=kernel,
+                    jobs=jobs, batch_size=batch_size,
+                    alignment_cache_path=path).run(build_module(seed))
+                assert decisions(persisted) == decisions(reference), \
+                    ("persisted", kernel, jobs, batch_size)
+
+    def test_warm_runs_still_verify(self, tmp_path):
+        from repro.ir import verify_or_raise
+        path = str(tmp_path / "cache.json")
+        FunctionMergingPass(exploration_threshold=2,
+                            alignment_cache_path=path).run(build_module(9))
+        module = build_module(9)
+        FunctionMergingPass(exploration_threshold=2,
+                            alignment_cache_path=path).run(module)
+        verify_or_raise(module)
+
+
+class TestCrossKernelTransfer:
+    """The cache key has no kernel component: entries computed by one keyed
+    kernel satisfy lookups from every other (they are bit-identical by
+    construction)."""
+
+    def test_banded_run_hits_entries_from_sequential_run(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="needleman-wunsch",
+            alignment_cache_path=path).run(build_module())
+        second = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="nw-banded",
+            alignment_cache_path=path).run(build_module())
+        assert decisions(second) == decisions(first)
+        assert second.scheduler_stats["align_cache_cross_run_hits"] > 0
+        assert hit_rate(second) >= 0.9
+
+    @pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+    def test_numpy_run_hits_entries_from_sequential_run(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="needleman-wunsch",
+            alignment_cache_path=path).run(build_module())
+        second = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="nw-numpy",
+            alignment_cache_path=path).run(build_module())
+        assert decisions(second) == decisions(first)
+        assert second.scheduler_stats["align_cache_cross_run_hits"] > 0
+        assert second.scheduler_stats["align_cache_misses"] == 0
+
+    def test_in_memory_transfer_between_kernel_stages(self):
+        # stage-level variant: two AlignmentStage instances with different
+        # kernels sharing one cache - the second never runs its DP
+        from repro.core.engine.align_cache import AlignmentCache
+        from repro.core.engine.stages import AlignmentStage, LinearizeStage
+        from tests.helpers import make_binary_chain_function
+
+        module = Module("xkernel")
+        linearize = LinearizeStage()
+        cache = AlignmentCache()
+        f = make_binary_chain_function(module, "f", ["add", "mul", "xor"])
+        g = make_binary_chain_function(module, "g", ["add", "shl", "xor"])
+        lf, lg = linearize.get(f), linearize.get(g)
+
+        sequential = AlignmentStage(kernel="needleman-wunsch", cache=cache)
+        banded = AlignmentStage(kernel="nw-banded", cache=cache)
+        want = sequential.align_pair(lf, lg)
+        assert cache.misses == 1 and cache.hits == 0
+        got = banded.align_pair(lf, lg)
+        assert cache.hits == 1 and cache.misses == 1
+        assert got.score == want.score
+        assert [(e.left, e.right) for e in got.entries] \
+            == [(e.left, e.right) for e in want.entries]

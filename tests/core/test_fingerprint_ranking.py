@@ -224,3 +224,112 @@ class TestIndexedSearcherParity:
         assert isinstance(make_searcher("linear"), CandidateRanker)
         with pytest.raises(ValueError):
             make_searcher("nope")
+
+
+class TestOracleModeParity:
+    """`limit=0` (the oracle's unrestricted ranking) parity between the
+    indexed searcher and the linear ranker, including the
+    `minimum_similarity < 0` full-scan path and score-tie ordering - the
+    untested edges of the "exact parity" contract."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(fingerprint_sets, st.sampled_from([0.0, -1.0, -0.5]))
+    def test_unrestricted_ranking_parity(self, raw, minimum):
+        linear = CandidateRanker(exploration_threshold=1,
+                                 minimum_similarity=minimum)
+        indexed = IndexedCandidateSearcher(exploration_threshold=1,
+                                           minimum_similarity=minimum)
+        for i, (opcodes, types) in enumerate(raw):
+            fp = Fingerprint(f"f{i}", Counter(opcodes), Counter(types),
+                             sum(opcodes.values()))
+            linear.add_fingerprint(fp)
+            indexed.add_fingerprint(fp)
+        for i in range(len(raw)):
+            assert (_ranked_tuples(indexed, f"f{i}", 0)
+                    == _ranked_tuples(linear, f"f{i}", 0))
+
+    def test_negative_minimum_returns_every_other_function(self):
+        # the full-scan path: zero-similarity candidates (no shared opcode
+        # or type feature, hence absent from every shared posting) must
+        # still be returned, in the same order, with the same 0.0 scores
+        disjoint = [Fingerprint("a", Counter("xy"), Counter({"w": 1}), 2),
+                    Fingerprint("b", Counter("pq"), Counter({"v": 2}), 2),
+                    Fingerprint("c", Counter("mn"), Counter({"u": 1}), 2)]
+        linear = CandidateRanker(minimum_similarity=-1.0)
+        indexed = IndexedCandidateSearcher(minimum_similarity=-1.0)
+        for fp in disjoint:
+            linear.add_fingerprint(fp)
+            indexed.add_fingerprint(fp)
+        for name in "abc":
+            got = _ranked_tuples(indexed, name, 0)
+            assert got == _ranked_tuples(linear, name, 0)
+            assert len(got) == 2
+            assert all(score == 0.0 for _, score, _ in got)
+        # the default minimum (0.0) filters them out in both
+        assert IndexedCandidateSearcher().rank_candidates("a") == []
+
+    def test_score_ties_order_by_name_in_both(self):
+        # four identical fingerprints: every candidate scores exactly the
+        # same, so ordering is decided purely by the name tie-break
+        linear = CandidateRanker(exploration_threshold=2)
+        indexed = IndexedCandidateSearcher(exploration_threshold=2)
+        for name in ("delta", "alpha", "charlie", "bravo"):
+            fp = Fingerprint(name, Counter("aab"), Counter({"t": 3}), 3)
+            linear.add_fingerprint(fp)
+            indexed.add_fingerprint(fp)
+        for limit in (0, 1, 2, None):
+            got = _ranked_tuples(indexed, "charlie", limit)
+            assert got == _ranked_tuples(linear, "charlie", limit)
+        full = _ranked_tuples(indexed, "charlie", 0)
+        assert [name for name, _, _ in full] == ["alpha", "bravo", "delta"]
+        assert [position for _, _, position in full] == [1, 2, 3]
+
+
+class TestPostingHygiene:
+    """`remove_function` must prune posting sets that become empty: a long
+    add/remove churn may not grow the inverted index without bound."""
+
+    @staticmethod
+    def _fingerprint(index):
+        return Fingerprint(f"churn{index}",
+                           Counter({f"op{index % 7}": 1 + index % 3,
+                                    f"op{(index + 1) % 7}": 1}),
+                           Counter({f"ty{index % 5}": 1}),
+                           2 + index % 3)
+
+    def test_churn_does_not_grow_postings_without_bound(self):
+        searcher = IndexedCandidateSearcher(exploration_threshold=2)
+        high_water = 0
+        for index in range(500):
+            searcher.add_fingerprint(self._fingerprint(index))
+            if index >= 8:
+                searcher.remove_function(f"churn{index - 8}")
+            high_water = max(high_water, len(searcher._op_postings),
+                             len(searcher._ty_postings))
+        # 7 opcode features and 5 type features exist in total; the index
+        # must never hold more posting sets than live features
+        assert high_water <= 7 + 5
+        assert len(searcher._op_postings) <= 7
+        assert len(searcher._ty_postings) <= 5
+
+    def test_postings_empty_after_removing_everything(self):
+        searcher = IndexedCandidateSearcher()
+        for index in range(20):
+            searcher.add_fingerprint(self._fingerprint(index))
+        for index in range(20):
+            searcher.remove_function(f"churn{index}")
+        assert searcher._op_postings == {}
+        assert searcher._ty_postings == {}
+        assert len(searcher) == 0
+
+    def test_overwrite_reindexes_without_leaking_old_features(self):
+        searcher = IndexedCandidateSearcher()
+        searcher.add_fingerprint(
+            Fingerprint("f", Counter({"add": 2}), Counter({"i32": 1}), 2))
+        searcher.add_fingerprint(
+            Fingerprint("f", Counter({"mul": 1}), Counter({"f64": 1}), 1))
+        # the old feature's posting set was emptied by the overwrite
+        add_id = searcher._op_feature_ids["add"]
+        assert add_id not in searcher._op_postings
+        mul_id = searcher._op_feature_ids["mul"]
+        assert searcher._op_postings[mul_id] == {"f"}

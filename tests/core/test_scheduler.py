@@ -301,3 +301,108 @@ class TestExecutors:
             make_executor("gpu", 2)
         with pytest.raises(ValueError):
             MergeEngine(executor="gpu", jobs=2).run(Module("empty"))
+
+
+class TestPlanningErrors:
+    """A planner exception names the worklist entry it came from, and the
+    thread pool is still shut down through the engine's finally path."""
+
+    class _ExplodingSearcher:
+        """Delegating searcher that raises when ranking one specific name."""
+
+        def __init__(self, inner, poison):
+            self._inner = inner
+            self._poison = poison
+
+        def rank_candidates(self, name, limit=None):
+            if name == self._poison:
+                raise KeyError("boom")
+            return self._inner.rank_candidates(name, limit)
+
+        def __getattr__(self, attribute):
+            return getattr(self._inner, attribute)
+
+    def _poisoned_engine(self, poison, **kwargs):
+        from repro.core.engine.search import make_searcher
+        searcher = self._ExplodingSearcher(
+            make_searcher("indexed", exploration_threshold=2), poison)
+        return MergeEngine(exploration_threshold=2, searcher=searcher, **kwargs)
+
+    def test_error_names_the_entry_under_thread_executor(self):
+        from repro.core.engine import PlanningError
+        module = build_module(5)
+        poison = sorted(f.name for f in module.defined_functions())[3]
+        engine = self._poisoned_engine(poison, jobs=2, batch_size=8)
+        schedulers = []
+        original = engine.make_scheduler
+        engine.make_scheduler = lambda: schedulers.append(original()) or schedulers[-1]
+        with pytest.raises(PlanningError, match=repr(poison)) as excinfo:
+            engine.run(module)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        assert excinfo.value.entry == poison
+        # the engine's finally path closed the pool despite the error
+        [scheduler] = schedulers
+        assert scheduler.executor._pool._shutdown
+
+    def test_error_names_the_entry_serially_too(self):
+        from repro.core.engine import PlanningError
+        module = build_module(5)
+        poison = sorted(f.name for f in module.defined_functions())[0]
+        engine = self._poisoned_engine(poison, jobs=1)
+        with pytest.raises(PlanningError, match=repr(poison)):
+            engine.run(module)
+
+    def test_planning_error_is_not_double_wrapped(self):
+        from collections import deque
+        from repro.core.engine import MergeScheduler, PlanningError
+        from repro.core.engine.scheduler import SerialExecutor
+
+        def plan(name):
+            raise PlanningError(name, ValueError("inner"))
+
+        scheduler = MergeScheduler(
+            plan=plan, commit=None, query_key=None, absorb=None,
+            executor=SerialExecutor())
+        with pytest.raises(PlanningError, match="'only'") as excinfo:
+            scheduler.run(deque(["only"]), {"only"})
+        assert excinfo.value.entry == "only"
+
+
+class TestCacheAwarePlanning:
+    """Content-duplicate batch entries are planned in a second wave, so the
+    duplicate pairs' DPs run once and the followers hit the cache."""
+
+    @staticmethod
+    def clone_heavy_module(seed=7, families=6):
+        return build_module(seed, families=families, clones=3)
+
+    def test_duplicates_deferred_and_never_recomputed(self):
+        report = FunctionMergingPass(
+            exploration_threshold=2, jobs=4,
+            batch_size=64).run(self.clone_heavy_module())
+        stats = report.scheduler_stats
+        assert stats["content_dup_deferred"] > 0
+        # the guarantee (not luck): every miss is a distinct content key,
+        # i.e. no alignment DP ever ran twice within the run
+        assert stats["align_cache_misses"] == (stats["align_cache_entries"]
+                                               + stats["align_cache_evictions"])
+
+    def test_wave_planning_keeps_decisions_identical(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(self.clone_heavy_module())
+        for jobs, batch_size in ((2, 16), (4, 64)):
+            report = FunctionMergingPass(
+                exploration_threshold=2, jobs=jobs,
+                batch_size=batch_size).run(self.clone_heavy_module())
+            assert decisions(report) == decisions(reference)
+
+    def test_no_cache_disables_content_grouping(self):
+        engine = MergeEngine(exploration_threshold=2, jobs=2, batch_size=16,
+                             alignment_cache=False)
+        scheduler = engine.make_scheduler()
+        try:
+            assert scheduler.content_key is None
+        finally:
+            scheduler.close()
+        report = engine.run(self.clone_heavy_module())
+        assert report.scheduler_stats["content_dup_deferred"] == 0
