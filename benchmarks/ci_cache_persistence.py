@@ -8,6 +8,11 @@ run fails when the second pass records no cross-run hits, when its hit rate
 drops below 90%, or when the two passes disagree on any merge decision -
 the regression tripwires for the cache-persistence path.
 
+The driver then exercises the snapshot file lock: two *concurrent*
+processes hammer one snapshot with interleaved read-merge-write saves of
+disjoint entry sets, and the run fails if the union loses a single entry
+(the lost-update race the advisory lock exists to close).
+
 Usage (the CI cache-persistence job)::
 
     PYTHONPATH=src REPRO_ALIGN_CACHE=$PWD/align-cache.json \
@@ -17,8 +22,10 @@ Knobs: ``REPRO_BENCH_SCALE`` (default 0.02) scales the workload;
 ``REPRO_ALIGN_CACHE`` names the snapshot (default ``align-cache.json``).
 """
 
+import multiprocessing
 import os
 import sys
+import tempfile
 
 _SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 if _SRC not in sys.path:
@@ -61,6 +68,48 @@ def _cache_stats(evaluation):
     return totals, decisions
 
 
+def _concurrent_writer(path, offset, count, barrier):
+    """Child: merge ``count`` distinct entries into the shared snapshot,
+    one locked save per entry, racing the sibling process."""
+    from repro.core.engine.align_cache import AlignmentCache
+    cache = AlignmentCache()
+    barrier.wait(timeout=60)
+    for index in range(offset, offset + count):
+        digest = index.to_bytes(16, "big")
+        cache.put((digest, digest, (1, -1, -1)), "m", 1)
+        cache.save(path)
+
+
+def check_concurrent_writers(entries_per_writer: int = 40) -> list:
+    """Two processes saving concurrently must lose no entries."""
+    from repro.core.engine.align_cache import AlignmentCache
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "shared-cache.json")
+        barrier = multiprocessing.Barrier(2)
+        writers = [
+            multiprocessing.Process(
+                target=_concurrent_writer,
+                args=(path, offset, entries_per_writer, barrier))
+            for offset in (0, entries_per_writer)]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+            if writer.exitcode != 0:
+                failures.append(f"concurrent writer exited with "
+                                f"{writer.exitcode}")
+        union = AlignmentCache()
+        loaded = union.load(path)
+        expected = 2 * entries_per_writer
+        print(f"concurrent writers: {loaded}/{expected} entries survived")
+        if loaded != expected:
+            failures.append(
+                f"concurrent snapshot writers lost entries: "
+                f"{loaded} of {expected} survived (file-lock regression)")
+    return failures
+
+
 def main() -> int:
     cache_path = os.environ.get(ALIGN_CACHE_ENV, "").strip() \
         or "align-cache.json"
@@ -86,6 +135,7 @@ def main() -> int:
                         f"{second_stats['hit_rate']:.0%} is below 90%")
     if second_decisions != first_decisions:
         failures.append("merge decisions changed between the two passes")
+    failures.extend(check_concurrent_writers())
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -17,17 +17,18 @@ Public API:
 from .align_np import (needleman_wunsch_banded_numpy,
                        needleman_wunsch_banded_numpy_keyed,
                        needleman_wunsch_numpy, needleman_wunsch_numpy_keyed,
-                       numpy_available)
+                       numpy_available, solve_keyed_alignment_numpy)
 from .alignment import (AlignedEntry, AlignmentResult, ScoringScheme, align,
                         hirschberg, needleman_wunsch, needleman_wunsch_banded,
-                        needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
+                        needleman_wunsch_banded_keyed, needleman_wunsch_keyed,
+                        ops_string, solve_keyed_alignment)
 from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
                       MergeResult, merge_functions, merge_parameter_lists,
                       merge_return_types)
 from .engine import (AlignmentCache, IndexedCandidateSearcher, MergeEngine,
                      Stage, StageStats, make_searcher)
-from .equivalence import (EquivalenceKeyInterner, encode_equivalence_key,
-                          entries_equivalent,
+from .equivalence import (EquivalenceKeyInterner, decode_canonical_keys,
+                          encode_equivalence_key, entries_equivalent,
                           entry_equivalence_key, instructions_equivalent,
                           labels_equivalent, type_equivalence_key,
                           types_equivalent)
@@ -47,7 +48,8 @@ __all__ = [
     "needleman_wunsch_banded_keyed", "needleman_wunsch_keyed",
     "needleman_wunsch_numpy", "needleman_wunsch_numpy_keyed",
     "needleman_wunsch_banded_numpy", "needleman_wunsch_banded_numpy_keyed",
-    "numpy_available", "AlignmentCache",
+    "numpy_available", "solve_keyed_alignment_numpy", "AlignmentCache",
+    "ops_string", "solve_keyed_alignment", "decode_canonical_keys",
     "CodegenError", "MergeCodeGenerator", "MergeOptions", "MergeResult",
     "merge_functions", "merge_parameter_lists", "merge_return_types",
     "IndexedCandidateSearcher", "MergeEngine", "Stage", "StageStats",

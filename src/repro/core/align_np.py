@@ -45,9 +45,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, TypeVar
 
+from typing import Tuple
+
 from .alignment import (AlignmentResult, EquivalenceFn, ScoringScheme,
                         _banded_traceback, _default_equivalence, _traceback,
-                        derive_band_margin, needleman_wunsch_keyed,
+                        derive_band_margin, needleman_wunsch_keyed, ops_string,
                         DEFAULT_BAND_MARGIN, _NEG)
 
 T = TypeVar("T")
@@ -307,6 +309,25 @@ def needleman_wunsch_banded_numpy(seq1: Sequence[T], seq2: Sequence[T],
     if result is not None:
         return result
     return needleman_wunsch_numpy(seq1, seq2, equivalent, scoring)
+
+
+def solve_keyed_alignment_numpy(keys1: Sequence[int], keys2: Sequence[int],
+                                scoring: ScoringScheme = ScoringScheme(),
+                                banded: bool = False) -> Tuple[str, int]:
+    """Vectorized task-level alignment over pure data: the NumPy twin of
+    :func:`repro.core.alignment.solve_keyed_alignment`.
+
+    Integer key sequences in, alignment shape ``(ops, score)`` out -
+    bit-identical to the pure-Python solver by construction (the fill
+    computes the same integers, the traceback is shared).  This is what
+    alignment-offload workers run when NumPy is importable in *their*
+    process; requires the ``fast`` extra.
+    """
+    kernel = (needleman_wunsch_banded_numpy_keyed if banded
+              else needleman_wunsch_numpy_keyed)
+    result = kernel(range(len(keys1)), range(len(keys2)),
+                    keys1, keys2, scoring)
+    return ops_string(result.entries), result.score
 
 
 #: Keyed kernels by algorithm name, for the AlignmentStage dispatch table.

@@ -112,6 +112,51 @@ def _default_equivalence(a: T, b: T) -> bool:
     return a == b
 
 
+def ops_string(entries: List[AlignedEntry[T]]) -> str:
+    """Serialize alignment columns to the compact ``m``/``l``/``r`` op
+    string (match / left-gap / right-gap per column).
+
+    The op string plus the score is an alignment's *shape* - everything the
+    DP decided, with no references to the concrete sequence elements.  It is
+    the currency of the content-addressed alignment cache and of the
+    out-of-process alignment offload (a worker returns the shape, the
+    requesting side rehydrates it against its own entry lists).
+    """
+    return "".join(
+        "m" if e.is_match else ("l" if e.is_left_only else "r")
+        for e in entries)
+
+
+#: Keyed kernel per algorithm name accepted by :func:`solve_keyed_alignment`
+#: (populated after the kernels are defined; all bit-identical).
+_KEYED_SOLVERS: dict = {}
+
+
+def solve_keyed_alignment(keys1: Sequence[int], keys2: Sequence[int],
+                          scoring: ScoringScheme = ScoringScheme(),
+                          algorithm: str = "needleman-wunsch"
+                          ) -> Tuple[str, int]:
+    """Task-level alignment over *pure data*: integer key sequences in,
+    alignment shape ``(ops, score)`` out.
+
+    This is the batch entry point the alignment offload workers call: no
+    linearized entries, no IR, no interner - just the key sequences (whose
+    cross-sequence equality pattern fully determines the DP) and the
+    scoring scheme.  The result is bit-identical to running the keyed
+    kernel of the same name over the originating pair and serializing it
+    with :func:`ops_string`, because the kernels only ever read the keys.
+    """
+    try:
+        kernel = _KEYED_SOLVERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown keyed alignment algorithm {algorithm!r}; "
+            f"available: {sorted(_KEYED_SOLVERS)}") from None
+    result = kernel(range(len(keys1)), range(len(keys2)),
+                    keys1, keys2, scoring)
+    return ops_string(result.entries), result.score
+
+
 # ---------------------------------------------------------------------------
 # Needleman-Wunsch
 # ---------------------------------------------------------------------------
@@ -560,6 +605,12 @@ ALGORITHMS = {
     "nw-numpy": _numpy_algorithm("nw-numpy"),
     "nw-banded-numpy": _numpy_algorithm("nw-banded-numpy"),
 }
+
+_KEYED_SOLVERS.update({
+    "needleman-wunsch": needleman_wunsch_keyed,
+    "nw": needleman_wunsch_keyed,
+    "nw-banded": needleman_wunsch_banded_keyed,
+})
 
 
 def align(seq1: Sequence[T], seq2: Sequence[T],

@@ -5,8 +5,12 @@ Public API:
 * :class:`MergeEngine` — the staged driver (fingerprint → candidate search →
   linearize → align → codegen → profitability → commit).
 * :class:`MergeScheduler` / :func:`make_executor` — the plan/commit driver:
-  batched read-only planning (serial or thread-pool via ``jobs=``) plus a
-  conflict-checked serial committer; bit-identical to the serial loop.
+  batched read-only planning (serial, thread-pool, or the process-offload
+  executor via ``jobs=``/``executor=``) plus a conflict-checked serial
+  committer; bit-identical to the serial loop.
+* :class:`AlignmentTask` / :class:`ProcessExecutor` — the out-of-process
+  alignment offload: the DP as picklable pure data behind the executor
+  seam (:mod:`repro.core.engine.offload`).
 * :class:`MergePlan` / :class:`CommitEvents` — the immutable plan objects and
   the commit-side invalidation events the conflict rules are built from.
 * :class:`IndexedCandidateSearcher` / :func:`make_searcher` — exact indexed
@@ -19,26 +23,30 @@ Public API:
   types (re-exported by :mod:`repro.core.pass_` for backward compatibility).
 """
 
-from .align_cache import ALIGN_CACHE_ENV, AlignmentCache
+from .align_cache import ALIGN_CACHE_ENV, ALIGN_CACHE_MAX_GEN_ENV, AlignmentCache
 from .base import Stage, StageStats
 from .engine import MergeEngine
-from .plan import CommitEvents, MergePlan, PlanDecision
+from .offload import (AlignmentTask, ProcessExecutor, TaskFailure,
+                      TaskResult, solve_alignment_task)
+from .plan import CommitEvents, MergePlan, PendingAlignment, PlanDecision
 from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
-from .scheduler import (EXECUTORS, MergeScheduler, PlanExecutor,
-                        PlanningError, SerialExecutor, ThreadExecutor,
-                        make_executor)
+from .scheduler import (ENGINE_EXECUTOR_ENV, EXECUTORS, AdaptiveBatchSizer,
+                        MergeScheduler, PlanExecutor, PlanningError,
+                        SerialExecutor, ThreadExecutor, make_executor)
 from .search import (SEARCHERS, IndexedCandidateSearcher, make_searcher)
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
                      PreprocessStage, ProfitabilityStage)
 
 __all__ = [
-    "ALIGN_CACHE_ENV", "AlignmentCache",
+    "ALIGN_CACHE_ENV", "ALIGN_CACHE_MAX_GEN_ENV", "AlignmentCache",
     "MergeEngine",
     "MergeScheduler", "PlanExecutor", "PlanningError", "SerialExecutor",
-    "ThreadExecutor", "EXECUTORS", "make_executor",
-    "MergePlan", "PlanDecision", "CommitEvents",
+    "ThreadExecutor", "ProcessExecutor", "EXECUTORS", "ENGINE_EXECUTOR_ENV",
+    "AdaptiveBatchSizer", "make_executor",
+    "AlignmentTask", "TaskResult", "TaskFailure", "solve_alignment_task",
+    "MergePlan", "PlanDecision", "CommitEvents", "PendingAlignment",
     "ProfitBoundIndex",
     "Stage", "StageStats",
     "STAGES", "MergeRecord", "MergeReport",

@@ -47,6 +47,24 @@ cache with a warning - never an exception - so a shared cache file can
 never break a build.  Hits satisfied by snapshot-loaded entries are counted
 separately (``cross_run_hits``) so warm-start effectiveness is observable
 in ``MergeReport.scheduler_stats``.
+
+Two policies keep a *shared, long-lived* snapshot healthy:
+
+* **Advisory file locking.**  ``save`` is read-merge-write; without mutual
+  exclusion two processes saving concurrently each merge against the same
+  on-disk state and the second atomic replace silently drops the first
+  writer's new entries.  Both ``save`` and ``load`` therefore take an
+  advisory lock on a ``<path>.lock`` sidecar (``fcntl.flock`` on POSIX, a
+  ``msvcrt.locking`` shim on Windows), making concurrent merges lose
+  nothing.  Where no locking primitive exists the code degrades to the old
+  atomic-replace behaviour with a warning.
+* **Generational compaction.**  The snapshot carries a generation counter,
+  bumped on every load, and each entry remembers the last generation that
+  referenced (hit or recomputed) it.  Entries untouched for
+  ``max_generations`` consecutive generations are dropped at save time, so
+  a snapshot shared across evolving workloads stops accumulating dead
+  entries forever.  Aging only affects what the snapshot retains - never
+  what a run computes.
 """
 
 from __future__ import annotations
@@ -57,9 +75,10 @@ import os
 import threading
 import warnings
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
-from ..alignment import AlignedEntry, AlignmentResult
+from ..alignment import AlignedEntry, AlignmentResult, ops_string
 
 #: Rough per-entry bookkeeping cost (two 16-byte digests, the scoring key
 #: parts, dict/OrderedDict slots) used for the ``bytes`` stat.
@@ -67,14 +86,128 @@ _ENTRY_OVERHEAD = 160
 
 #: On-disk snapshot format marker and version.  Bump the version whenever
 #: the entry layout or the key derivation changes; older snapshots are then
-#: rejected (with a warning) instead of silently misinterpreted.
+#: rejected (with a warning) instead of silently misinterpreted - except
+#: versions listed in :data:`READABLE_VERSIONS`, which parse compatibly.
 SNAPSHOT_FORMAT = "repro-align-cache"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: Snapshot versions :meth:`AlignmentCache.load` still understands.
+#: Version 1 rows lack the per-entry generation; they load as generation 0.
+READABLE_VERSIONS = (1, SNAPSHOT_VERSION)
 
 #: Environment knob naming a shared snapshot file: engines without an
 #: explicit ``alignment_cache_path`` load it before each run and save back
 #: after, so every module of an evaluation suite warm-starts from one cache.
 ALIGN_CACHE_ENV = "REPRO_ALIGN_CACHE"
+
+#: Environment knob for the default generational-compaction horizon.
+ALIGN_CACHE_MAX_GEN_ENV = "REPRO_ALIGN_CACHE_MAX_GEN"
+
+#: Default compaction horizon: snapshot entries not referenced for this
+#: many consecutive generations (one generation = one load of the shared
+#: snapshot) are aged out at save time.
+DEFAULT_MAX_GENERATIONS = 32
+
+
+def resolve_max_generations(value: Optional[int]) -> Optional[int]:
+    """Resolve the compaction horizon: the explicit value, then the
+    ``REPRO_ALIGN_CACHE_MAX_GEN`` environment variable, then the default;
+    zero or negative disables aging (returns None)."""
+    if value is None:
+        raw = os.environ.get(ALIGN_CACHE_MAX_GEN_ENV, "").strip()
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring non-integer {ALIGN_CACHE_MAX_GEN_ENV}={raw!r}",
+                    RuntimeWarning, stacklevel=2)
+        if value is None:
+            value = DEFAULT_MAX_GENERATIONS
+    return value if value > 0 else None
+
+
+def _warn_unlocked(reason: str, shared: bool) -> None:
+    """Degrading to unlocked operation only matters (and only warns) on the
+    write path: an unlocked *read* of an atomically-replaced file is safe,
+    it is concurrent read-merge-write saves that lose entries."""
+    if not shared:
+        warnings.warn(f"{reason}; concurrent alignment-cache snapshot "
+                      f"writers may lose entries", RuntimeWarning,
+                      stacklevel=4)
+
+
+@contextmanager
+def _snapshot_lock(path: str, shared: bool = False):
+    """Advisory lock on ``path``'s sidecar lock file.
+
+    Yields True while holding the lock, False when no locking primitive is
+    available, the lock file cannot be created, or the lock call itself
+    fails (e.g. ``flock`` raising ENOLCK on a filesystem without lock
+    support) - degrading, with a warning on the write path, to the
+    unlocked atomic-replace behaviour, which can lose entries to
+    concurrent writers but never corrupts the snapshot and never raises.
+    The sidecar is deliberately separate from the snapshot: ``os.replace``
+    on the snapshot itself would leave a lock taken on a dead inode.
+    """
+    handle = None
+    locked_via = None
+    try:
+        try:
+            handle = open(path + ".lock", "a+b")
+        except OSError as error:
+            _warn_unlocked(f"cannot create alignment-cache lock file "
+                           f"{path + '.lock'!r} ({error})", shared)
+            yield False
+            return
+        try:
+            import fcntl
+        except ImportError:
+            fcntl = None
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            except OSError as error:
+                _warn_unlocked(f"cannot lock {path + '.lock'!r} ({error})",
+                               shared)
+                yield False
+                return
+            locked_via = "fcntl"
+            yield True
+            return
+        try:
+            import msvcrt
+        except ImportError:
+            _warn_unlocked("no advisory file locking available (neither "
+                           "fcntl nor msvcrt)", shared)
+            yield False
+            return
+        # msvcrt has no shared locks; exclusive-lock the first byte for
+        # readers and writers alike
+        try:
+            handle.seek(0)
+            msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+        except OSError as error:
+            # LK_LOCK gives up after ~10s of contention rather than
+            # waiting forever; proceeding unlocked beats crashing the run
+            _warn_unlocked(f"cannot lock {path + '.lock'!r} ({error})",
+                           shared)
+            yield False
+            return
+        locked_via = "msvcrt"
+        yield True
+    finally:
+        if handle is not None:
+            if locked_via == "msvcrt":
+                import msvcrt
+                try:
+                    handle.seek(0)
+                    msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
+                except OSError:
+                    pass
+            # fcntl locks release on close
+            handle.close()
 
 
 def _entries_checksum(entries: List[list]) -> str:
@@ -88,10 +221,10 @@ class _SnapshotError(ValueError):
 
 
 def ops_of(entries: List[AlignedEntry]) -> str:
-    """Serialize alignment entries to the compact op string."""
-    return "".join(
-        "m" if e.is_match else ("l" if e.is_left_only else "r")
-        for e in entries)
+    """Serialize alignment entries to the compact op string (alias of
+    :func:`repro.core.alignment.ops_string`, kept for call sites that think
+    in cache terms)."""
+    return ops_string(entries)
 
 
 def rehydrate(ops: str, score: int, seq1, seq2) -> AlignmentResult:
@@ -118,16 +251,23 @@ def rehydrate(ops: str, score: int, seq1, seq2) -> AlignmentResult:
 class AlignmentCache:
     """Bounded, thread-safe LRU of alignment shapes keyed by content."""
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096,
+                 max_generations: Optional[int] = None):
         if capacity < 1:
             raise ValueError("alignment cache capacity must be >= 1")
         self.capacity = capacity
+        self.max_generations = resolve_max_generations(max_generations)
         self._data: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self._bytes = 0
         #: Keys whose entries came from a snapshot (not computed this run);
         #: hits against them are counted as ``cross_run_hits`` too.
         self._persisted: set = set()
+        #: Current snapshot generation (the loaded snapshot's counter + 1;
+        #: 0 for a cache that never loaded) and the last generation each
+        #: held key was referenced in - the compaction bookkeeping.
+        self._generation = 0
+        self._gens: Dict[tuple, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -144,10 +284,19 @@ class AlignmentCache:
                 self.misses += 1
                 return None
             self._data.move_to_end(key)
+            self._gens[key] = self._generation
             self.hits += 1
             if key in self._persisted:
                 self.cross_run_hits += 1
             return value
+
+    def contains(self, key: tuple) -> bool:
+        """Whether ``key`` is held, *without* counting a hit or miss,
+        touching the LRU order or refreshing the entry's generation - the
+        offload's dispatch filter, which must not skew the stats the
+        planning lookups produce."""
+        with self._lock:
+            return key in self._data
 
     def put(self, key: tuple, ops: str, score: int) -> None:
         with self._lock:
@@ -159,10 +308,12 @@ class AlignmentCache:
             self._bytes -= len(existing[0]) + _ENTRY_OVERHEAD
         self._persisted.discard(key)  # computed (again) this run
         self._data[key] = (ops, score)
+        self._gens[key] = self._generation
         self._bytes += len(ops) + _ENTRY_OVERHEAD
         while len(self._data) > self.capacity:
             old_key, (old_ops, _) = self._data.popitem(last=False)
             self._persisted.discard(old_key)
+            self._gens.pop(old_key, None)
             self._bytes -= len(old_ops) + _ENTRY_OVERHEAD
             self.evictions += 1
 
@@ -171,6 +322,8 @@ class AlignmentCache:
         with self._lock:
             self._data.clear()
             self._persisted.clear()
+            self._gens.clear()
+            self._generation = 0
             self._bytes = 0
             self.hits = 0
             self.misses = 0
@@ -188,6 +341,7 @@ class AlignmentCache:
                 prefix + "entries": len(self._data),
                 prefix + "persisted_entries": len(self._persisted),
                 prefix + "bytes": self._bytes,
+                prefix + "generation": self._generation,
             }
 
     def hit_rate(self) -> float:
@@ -230,29 +384,54 @@ class AlignmentCache:
         a snapshot shared across the modules of a suite *accumulates*
         alignments instead of shrinking to whatever the last run's LRU
         happened to retain; an unreadable or corrupt existing file is
-        simply replaced.  The snapshot is format-tagged, versioned and
-        checksummed; writes go through a temporary file and an atomic
-        rename so concurrent readers never observe a torn file.  Failures
-        (unwritable path, full disk) warn and return False instead of
-        raising - persistence is an optimization, never a correctness
-        requirement.
+        simply replaced.  Entries whose last-referenced generation is more
+        than ``max_generations`` loads old are aged out (see the module
+        docstring).  The read-merge-write cycle runs under an advisory
+        file lock, so concurrent writers sharing one snapshot merge instead
+        of overwriting each other; the snapshot is format-tagged, versioned
+        and checksummed, and the write itself still goes through a
+        temporary file and an atomic rename so readers (locked or not)
+        never observe a torn file.  Failures (unwritable path, full disk)
+        warn and return False instead of raising - persistence is an
+        optimization, never a correctness requirement.
         """
+        with _snapshot_lock(path):
+            return self._save_locked(path)
+
+    def _save_locked(self, path: str) -> bool:
         try:
-            on_disk = self._parse_snapshot(path)
+            on_disk_generation, on_disk = self._parse_snapshot(path)
         except (_SnapshotError, OSError, ValueError):
-            on_disk = []  # being overwritten anyway
-        merged: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict(
-            (key, (ops, score)) for key, ops, score in on_disk)
+            on_disk_generation, on_disk = 0, []  # being overwritten anyway
+        merged: "OrderedDict[tuple, Tuple[str, int, int]]" = OrderedDict(
+            (key, (ops, score, gen)) for key, ops, score, gen in on_disk)
         with self._lock:
+            # a writer that never load()ed this snapshot (its own clock is
+            # 0) must not rewind the shared generation counter - that would
+            # stretch every entry's aging horizon by a full clock restart
+            generation = max(self._generation, on_disk_generation)
             for key, (ops, score) in self._data.items():
                 if self._encode_key(key) is not None:
-                    merged.pop(key, None)
-                    merged[key] = (ops, score)  # this run's entries newest
-        entries = [self._encode_key(key) + [ops, score]
-                   for key, (ops, score) in merged.items()]
+                    previous = merged.pop(key, None)
+                    local_gen = self._gens.get(key, self._generation)
+                    # entries referenced on this run's (possibly rewound)
+                    # local clock are *current* on the shared clock too
+                    gen = (generation if local_gen >= self._generation
+                           else local_gen)
+                    if previous is not None:
+                        gen = max(gen, previous[2])
+                    merged[key] = (ops, score, gen)  # this run's entries newest
+        if self.max_generations is not None:
+            horizon = generation - self.max_generations
+            merged = OrderedDict(
+                (key, value) for key, value in merged.items()
+                if value[2] >= horizon)
+        entries = [self._encode_key(key) + [ops, score, gen]
+                   for key, (ops, score, gen) in merged.items()]
         snapshot = {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
+            "generation": generation,
             "entries": entries,
             "checksum": _entries_checksum(entries),
         }
@@ -271,8 +450,9 @@ class AlignmentCache:
             return False
         return True
 
-    def _parse_snapshot(self, path: str) -> List[tuple]:
-        """Parse a snapshot file into ``(key, ops, score)`` tuples.
+    def _parse_snapshot(self, path: str) -> Tuple[int, List[tuple]]:
+        """Parse a snapshot file into its generation counter plus
+        ``(key, ops, score, generation)`` tuples.
 
         Raises FileNotFoundError for a missing file, OSError/ValueError for
         an unreadable one and :class:`_SnapshotError` (whose message names
@@ -283,9 +463,10 @@ class AlignmentCache:
         if not isinstance(snapshot, dict) \
                 or snapshot.get("format") != SNAPSHOT_FORMAT:
             raise _SnapshotError("not an alignment-cache snapshot")
-        if snapshot.get("version") != SNAPSHOT_VERSION:
+        version = snapshot.get("version")
+        if version not in READABLE_VERSIONS:
             raise _SnapshotError(
-                f"format version {snapshot.get('version')!r} does not match "
+                f"format version {version!r} does not match "
                 f"{SNAPSHOT_VERSION} (stale file?)")
         entries = snapshot.get("entries")
         if not isinstance(entries, list):
@@ -293,31 +474,48 @@ class AlignmentCache:
         if snapshot.get("checksum") != _entries_checksum(entries):
             raise _SnapshotError(
                 "checksum mismatch (truncated or corrupted file)")
+        generation = snapshot.get("generation", 0)
+        if not (isinstance(generation, int)
+                and not isinstance(generation, bool) and generation >= 0):
+            raise _SnapshotError("malformed generation counter")
         decoded = []
         try:
             for row in entries:
                 key = self._decode_key(row[:3])
                 ops, score = row[3], row[4]
+                gen = row[5] if version >= 2 else 0
                 if not (isinstance(ops, str) and set(ops) <= {"m", "l", "r"}
                         and isinstance(score, int)
-                        and not isinstance(score, bool)):
+                        and not isinstance(score, bool)
+                        and isinstance(gen, int)
+                        and not isinstance(gen, bool)):
                     raise ValueError("malformed snapshot entry")
-                decoded.append((key, ops, score))
+                decoded.append((key, ops, score, gen))
         except (ValueError, IndexError, TypeError) as error:
             raise _SnapshotError(f"malformed entry ({error})") from error
-        return decoded
+        return generation, decoded
 
     def load(self, path: str) -> int:
         """Warm-start the cache from a snapshot written by :meth:`save`.
 
-        Returns the number of entries loaded.  Every failure mode - missing
-        file, unreadable file, malformed JSON, wrong format tag, version
-        mismatch, checksum mismatch, malformed entries - degrades to a cold
-        cache with a warning (except a simply-missing file, which is the
-        normal first run of a fresh cache path and stays silent).
+        Returns the number of entries loaded.  Bumps the cache's generation
+        to one past the snapshot's (every load is one generation of the
+        compaction clock).  Reading happens under a shared advisory lock so
+        a concurrent writer's read-merge-write cannot interleave.  Every
+        failure mode - missing file, unreadable file, malformed JSON, wrong
+        format tag, version mismatch, checksum mismatch, malformed entries
+        - degrades to a cold cache with a warning (except a simply-missing
+        file, which is the normal first run of a fresh cache path and stays
+        silent).
         """
+        if not os.path.exists(path):
+            # the normal first run of a fresh cache path: stay silent and,
+            # as importantly, do not litter a ``.lock`` sidecar next to a
+            # snapshot nobody ever wrote (read-only callers included)
+            return 0
         try:
-            decoded = self._parse_snapshot(path)
+            with _snapshot_lock(path, shared=True):
+                generation, decoded = self._parse_snapshot(path)
         except FileNotFoundError:
             return 0
         except _SnapshotError as error:
@@ -330,9 +528,11 @@ class AlignmentCache:
             return 0
 
         with self._lock:
+            self._generation = generation + 1
             # newest-first so the LRU keeps the most recently stored entries
             # when the snapshot exceeds the capacity
-            for key, ops, score in decoded[-self.capacity:]:
+            for key, ops, score, gen in decoded[-self.capacity:]:
                 self._put_locked(key, ops, score)
+                self._gens[key] = gen  # referenced when *hit*, not on load
                 self._persisted.add(key)
         return min(len(decoded), self.capacity)

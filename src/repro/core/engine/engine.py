@@ -40,10 +40,12 @@ from ..codegen import CodegenError, MergeOptions
 from ..fingerprint import Fingerprint
 from .align_cache import ALIGN_CACHE_ENV, AlignmentCache
 from .base import Stage
-from .plan import CommitEvents, MergePlan, PlanDecision
+from .offload import AlignmentTask
+from .plan import CommitEvents, MergePlan, PendingAlignment, PlanDecision
 from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
-from .scheduler import MergeScheduler, make_executor
+from .scheduler import (ENGINE_EXECUTOR_ENV, MergeScheduler, PlanExecutor,
+                        PlanningError, make_executor)
 from .search import make_searcher
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
@@ -58,6 +60,11 @@ def _default_jobs() -> int:
         return max(1, int(os.environ.get("REPRO_ENGINE_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def _env_flag(name: str) -> bool:
+    value = os.environ.get(name, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
 class MergeEngine:
@@ -75,9 +82,11 @@ class MergeEngine:
                  alignment_kernel: Optional[str] = None,
                  alignment_cache: Union[bool, int] = True,
                  alignment_cache_path: Optional[str] = None,
+                 alignment_cache_max_generations: Optional[int] = None,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
+                 adaptive_batch: Optional[bool] = None,
                  incremental_callgraph: bool = True,
                  oracle_prune: bool = True,
                  incremental_fingerprints: bool = True,
@@ -130,13 +139,36 @@ class MergeEngine:
                 warning.  Cross-run hits are surfaced as
                 ``align_cache_cross_run_hits`` in
                 ``MergeReport.scheduler_stats``.
+            alignment_cache_max_generations: age out persisted snapshot
+                entries not referenced for this many consecutive
+                load/save generations (default: the
+                ``REPRO_ALIGN_CACHE_MAX_GEN`` environment variable, then
+                32); ``0`` or a negative value disables aging.  Only
+                affects what a long-lived shared snapshot retains, never
+                what a run computes.
             jobs: how many worklist entries to plan concurrently (default:
                 ``REPRO_ENGINE_JOBS`` or 1).  Merge decisions are identical
                 for every value.
-            executor: plan executor kind - ``"auto"`` (serial for jobs<=1,
-                thread pool otherwise), ``"serial"`` or ``"thread"``.
+            executor: plan executor kind - ``"auto"`` (the
+                ``REPRO_ENGINE_EXECUTOR`` environment variable if set, else
+                serial for jobs<=1 and the thread pool otherwise),
+                ``"serial"``, ``"thread"`` or ``"process"``.  The process
+                executor keeps planning in this process but offloads the
+                alignment DPs to a worker pool as pure data (canonical key
+                bytes), which is the only executor that buys wall-clock
+                from ``jobs>1`` with pure-Python kernels on GIL-bound
+                builds.  Merge decisions are identical for every executor.
             batch_size: worklist entries planned per batch (default: 1 for
-                the serial executor, ``jobs * 4`` otherwise).
+                the serial executor, ``jobs * 4`` otherwise, at least 4
+                when alignment is offloaded).
+            adaptive_batch: retune the batch size between rounds from the
+                observed conflict/replan rate (multiplicative
+                increase/decrease, bounded, deterministic in the stats
+                stream; the trace lands in
+                ``scheduler_stats["batch_size_trace"]``).  Default: the
+                ``REPRO_ENGINE_ADAPTIVE_BATCH`` environment variable, else
+                off.  Decisions are identical either way - adaptivity only
+                changes how much planning work conflicts throw away.
             incremental_callgraph: maintain the call graph incrementally
                 across commits (default).  ``False`` restores the seed's
                 rebuild-per-commit protocol, kept for benchmarking.
@@ -162,8 +194,15 @@ class MergeEngine:
         self.hot_function_filter = hot_function_filter
         self.minimum_function_size = minimum_function_size
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        if executor == "auto":
+            env_kind = os.environ.get(ENGINE_EXECUTOR_ENV, "").strip()
+            if env_kind:
+                executor = env_kind
         self.executor_kind = executor
         self.batch_size = batch_size
+        if adaptive_batch is None:
+            adaptive_batch = _env_flag("REPRO_ENGINE_ADAPTIVE_BATCH")
+        self.adaptive_batch = bool(adaptive_batch)
         self.incremental_callgraph = incremental_callgraph
         self.oracle_prune = oracle_prune
         self.incremental_fingerprints = incremental_fingerprints
@@ -181,9 +220,12 @@ class MergeEngine:
                               if oracle and oracle_prune else None)
 
         if alignment_cache is True:
-            self.align_cache: Optional[AlignmentCache] = AlignmentCache()
+            self.align_cache: Optional[AlignmentCache] = AlignmentCache(
+                max_generations=alignment_cache_max_generations)
         elif alignment_cache:
-            self.align_cache = AlignmentCache(int(alignment_cache))
+            self.align_cache = AlignmentCache(
+                int(alignment_cache),
+                max_generations=alignment_cache_max_generations)
         else:
             self.align_cache = None
         if alignment_cache_path is None:
@@ -352,6 +394,92 @@ class MergeEngine:
             return None
         return self.linearize.get(function).canonical_digest()
 
+    # -- alignment offload (hydrate + result absorption) -------------------------
+    def prefetch_alignment_tasks(self, names: List[str]
+                                 ) -> List[PendingAlignment]:
+        """Hydrate one batch: the alignment shapes its plans will ask for
+        that the cache does not already hold, as pure-data tasks.
+
+        Read-only, like planning itself: candidate rankings come from the
+        (idempotent) searcher, linearizations from the linearize stage's
+        cache (warming it for the finish-plan step).  The finish-plan step
+        re-ranks each entry through the candidate-search stage - the same
+        microsecond-scale re-query the committer's conflict check already
+        relies on, accepted here so the planning pipeline stays a single
+        unchanged code path.  Pairs are deduplicated
+        by cache key across the batch - clone families request each distinct
+        DP once - and pairs already cached are skipped entirely, so warm
+        runs dispatch nothing.  In oracle mode, pairs the profit-bound index
+        can already reject against a zero floor are skipped too (the floor
+        only rises while planning, so such pairs are never aligned serially
+        either).
+        """
+        if not self.alignment.uses_cache:
+            return []
+        cache = self.align_cache
+        scoring_key = self.alignment.scoring_key
+        module = self._module
+        limit = 0 if self.oracle else self.exploration_threshold
+        pending: List[PendingAlignment] = []
+        seen: set = set()
+        for name in names:
+            try:
+                self._hydrate_entry(name, limit, scoring_key, module, cache,
+                                    seen, pending)
+            except PlanningError:
+                raise
+            except Exception as error:
+                # hydration runs the same search/linearize machinery as
+                # planning; failures must name their entry just the same
+                raise PlanningError(name, error) from error
+        return pending
+
+    def _hydrate_entry(self, name: str, limit: int, scoring_key: tuple,
+                       module: Module, cache: AlignmentCache,
+                       seen: set, pending: List[PendingAlignment]) -> None:
+        if name not in self._available:
+            return
+        function1 = module.get_function(name)
+        if function1 is None:
+            return
+        lin1 = None
+        for candidate in self.searcher.rank_candidates(name, limit):
+            partner = candidate.function_name
+            if partner not in self._available:
+                continue
+            function2 = module.get_function(partner)
+            if function2 is None:
+                continue
+            if self.profit_bounds is not None and self.oracle:
+                bound = self.profit_bounds.delta_bound(name, partner, 0)
+                if bound is not None and bound <= 0:
+                    continue
+            if lin1 is None:
+                lin1 = self.linearize.get(function1)
+            lin2 = self.linearize.get(function2)
+            key = (lin1.canonical_digest(), lin2.canonical_digest(),
+                   scoring_key)
+            if key in seen or cache.contains(key):
+                continue
+            seen.add(key)
+            pending.append(PendingAlignment(
+                entry=name, key=key,
+                task=AlignmentTask(
+                    keys1=tuple(lin1.canonical_key_bytes()),
+                    keys2=tuple(lin2.canonical_key_bytes()),
+                    scoring=scoring_key)))
+
+    def _store_offloaded(self, key: tuple, ops: str, score: int) -> None:
+        """Land one worker-computed alignment shape in the cache (the
+        finish-plan step's lookups then rehydrate it bit-identically)."""
+        self.align_cache.put(key, ops, score)
+        self.alignment.stats.bump("offloaded")
+
+    def _account_offload(self, seconds: float) -> None:
+        """Offload rounds are alignment time: account their wall clock to
+        the alignment stage so the Figure-13 buckets stay truthful."""
+        self.alignment.stats.account(seconds)
+
     def _absorb_plan(self, plan: MergePlan) -> None:
         report = self._report
         report.candidates_evaluated += plan.candidates_evaluated
@@ -436,19 +564,29 @@ class MergeEngine:
             touched_callees=tuple(applied.touched_callees))
 
     # -- main driver --------------------------------------------------------------
-    def make_scheduler(self) -> MergeScheduler:
+    def make_scheduler(self,
+                       executor: Optional[PlanExecutor] = None) -> MergeScheduler:
         """Build the plan/commit scheduler for one run (call after run()'s
-        state setup; exposed so tests can hook ``on_commit``)."""
+        state setup; exposed so tests can hook ``on_commit`` or supply a
+        pre-built executor)."""
+        if executor is None:
+            executor = make_executor(self.executor_kind, self.jobs)
+        uses_cache = self.alignment.uses_cache
         return MergeScheduler(
             plan=self.plan_entry, commit=self.commit_plan,
             query_key=self._query_key, absorb=self._absorb_plan,
-            executor=make_executor(self.executor_kind, self.jobs),
+            executor=executor,
             batch_size=self.batch_size,
+            adaptive=self.adaptive_batch,
             # cache-aware wave planning only pays off when the alignment
             # stage actually consults the cache; on the generic predicate
             # path the grouping would be pure overhead
-            content_key=(self._plan_content_key
-                         if self.alignment.uses_cache else None))
+            content_key=(self._plan_content_key if uses_cache else None),
+            # ... and the same condition gates the offload: without the
+            # cache there is nowhere for a worker's result to land
+            prefetch=(self.prefetch_alignment_tasks if uses_cache else None),
+            store=(self._store_offloaded if uses_cache else None),
+            on_offload=self._account_offload)
 
     def run(self, module: Module,
             scheduler: Optional[MergeScheduler] = None) -> MergeReport:

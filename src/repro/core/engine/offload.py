@@ -1,0 +1,223 @@
+"""Out-of-process alignment offload: the DP as a pure-data service.
+
+The Needleman-Wunsch DP is the planning phase's dominant cost, and it is
+*pure*: given two equivalence-key sequences and a scoring scheme, every
+keyed kernel deterministically produces one alignment shape (op string +
+score).  Nothing else of the pipeline crosses this boundary - candidate
+search, codegen, profitability and commit all need live IR and stay in the
+main process.  That purity is what makes a process pool viable where a
+process pool for whole *plans* is not (plans hold live references into the
+module's IR objects and cannot cross a pickle boundary).
+
+The unit of work is an :class:`AlignmentTask`: the two sequences encoded as
+**canonical equivalence-key bytes** (:func:`~repro.core.equivalence
+.encode_equivalence_key` per entry, via
+:meth:`~repro.core.linearizer.LinearizedFunction.canonical_key_bytes`) plus
+the scoring triple.  Canonical bytes - not interner ids - so a task is
+self-contained and interner-independent: the worker re-interns them with
+:func:`~repro.core.equivalence.decode_canonical_keys` (never-equivalent
+markers get fresh negative ids, exactly like the live interner) and runs
+the keyed kernel of its choice.  Every keyed kernel is bit-identical, so
+**each worker picks its own**: the vectorized NumPy kernel when NumPy is
+importable in the worker process, the pure-Python kernel otherwise
+(overridable per executor for tests and benchmarks).
+
+:class:`ProcessExecutor` plugs this into the scheduler's ``PlanExecutor``
+seam.  Its :meth:`ProcessExecutor.map` - the *finish-plan* step - runs in
+the calling process (plans cannot be pickled); only
+:meth:`ProcessExecutor.run_tasks` fans out, dispatching tasks in chunks
+onto a ``concurrent.futures.ProcessPoolExecutor``.  Chunks are sized to
+roughly ``4 x jobs`` per batch so idle workers keep pulling work off the
+shared queue (work stealing by queue discipline) instead of one straggler
+chunk serializing the tail.  A failed or killed worker surfaces as
+:class:`TaskFailure` naming the first failed task's index, which the
+scheduler maps back to the worklist entry that requested it.
+
+Results flow into the content-addressed alignment cache in the main
+process; the finish-plan step then re-runs the normal (unchanged) planning
+pipeline, whose alignment lookups all hit.  Decisions are therefore
+bit-identical to the serial engine by construction - the offload is a
+cache-warming prefetch, never a second code path for deciding anything.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..align_np import numpy_available, solve_keyed_alignment_numpy
+from ..alignment import ScoringScheme, solve_keyed_alignment
+from ..equivalence import decode_canonical_keys
+from .scheduler import PlanExecutor
+
+#: Worker kernel modes accepted by :class:`ProcessExecutor` /
+#: :func:`_init_worker`.  ``"auto"`` is the production setting (NumPy when
+#: the worker can import it); ``"pure"`` pins the pure-Python kernel, used
+#: by tests to exercise the dependency-free leg deterministically.
+WORKER_KERNELS = ("auto", "pure")
+
+
+@dataclass(frozen=True)
+class AlignmentTask:
+    """One alignment DP as picklable pure data.
+
+    ``keys1`` / ``keys2`` are the pair's canonical per-entry equivalence-key
+    encodings (interner-independent bytes; see the module docstring),
+    ``scoring`` the ``(match, mismatch, gap)`` triple.  Carries everything a
+    worker needs and nothing it must share with the main process.
+    """
+
+    keys1: Tuple[bytes, ...]
+    keys2: Tuple[bytes, ...]
+    scoring: Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """An alignment shape computed by a worker."""
+
+    ops: str
+    score: int
+
+
+class TaskFailure(RuntimeError):
+    """A worker failed (raised, or died) while solving one task chunk.
+
+    ``task_index`` is the index (into the dispatched task list) of the
+    first task of the first failed chunk - with a crashed worker the pool
+    cannot say more precisely which task was being solved, but the index is
+    enough for the scheduler to attribute the failure to a worklist entry.
+    """
+
+    def __init__(self, task_index: int, cause: BaseException):
+        super().__init__(f"alignment task {task_index} failed: "
+                         f"{type(cause).__name__}: {cause}")
+        self.task_index = task_index
+        self.__cause__ = cause
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Per-worker solver, resolved once by :func:`_init_worker` (or lazily on
+#: the first task when the pool was built without an initializer).
+_worker_solver = None
+
+
+def _resolve_solver(kernel: str = "auto"):
+    """Pick this process's task solver: NumPy when importable (and not
+    pinned to ``"pure"``), the pure-Python keyed kernel otherwise."""
+    if kernel not in WORKER_KERNELS:
+        raise ValueError(f"unknown offload worker kernel {kernel!r}; "
+                         f"available: {WORKER_KERNELS}")
+    if kernel == "auto" and numpy_available():
+        return lambda k1, k2, scoring: solve_keyed_alignment_numpy(
+            k1, k2, scoring)
+    return lambda k1, k2, scoring: solve_keyed_alignment(k1, k2, scoring)
+
+
+def _init_worker(kernel: str) -> None:
+    """Pool initializer: resolve the kernel once per worker process."""
+    global _worker_solver
+    _worker_solver = _resolve_solver(kernel)
+
+
+def solve_alignment_task(task: AlignmentTask) -> TaskResult:
+    """Solve one task in this process (workers and tests call this)."""
+    global _worker_solver
+    if _worker_solver is None:
+        _worker_solver = _resolve_solver()
+    keys1, keys2 = decode_canonical_keys(task.keys1, task.keys2)
+    ops, score = _worker_solver(keys1, keys2, ScoringScheme(*task.scoring))
+    return TaskResult(ops, score)
+
+
+def _solve_chunk(tasks: List[AlignmentTask]) -> Tuple[List[TaskResult], float]:
+    """Worker entry: solve one chunk, reporting its in-worker DP seconds
+    (the dispatch/IPC overhead benchmark subtracts these from the offload
+    wall clock)."""
+    start = time.perf_counter()
+    results = [solve_alignment_task(task) for task in tasks]
+    return results, time.perf_counter() - start
+
+
+# -- executor side -------------------------------------------------------------
+
+class ProcessExecutor(PlanExecutor):
+    """Plan executor that offloads alignment tasks to a process pool.
+
+    Planning itself (``map``) runs serially in the calling process - plans
+    hold live IR references - so with this executor the scheduler's batch
+    pipeline is *hydrate -> align (offloaded) -> finish-plan*: the DP work
+    crosses the process boundary as :class:`AlignmentTask` pure data and
+    everything else stays put.  ``kernel`` selects the workers' solver
+    (``"auto"``: NumPy when the worker can import it).
+
+    Worker processes are spawned lazily by the pool on first dispatch, so
+    building the executor is cheap and a run whose alignments all hit the
+    cache never forks at all.
+    """
+
+    offloads_alignment = True
+
+    #: Target chunks per worker and dispatch round: enough slack for the
+    #: pool's queue to rebalance (work stealing), few enough that per-chunk
+    #: IPC stays amortized.
+    CHUNKS_PER_JOB = 4
+
+    def __init__(self, jobs: int, kernel: str = "auto"):
+        if kernel not in WORKER_KERNELS:
+            raise ValueError(f"unknown offload worker kernel {kernel!r}; "
+                             f"available: {WORKER_KERNELS}")
+        self.jobs = max(1, int(jobs))
+        self.kernel = kernel
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                         initializer=_init_worker,
+                                         initargs=(kernel,))
+
+    def map(self, fn, names):
+        # finish-plan: main process, serially (the offload already paid the
+        # parallelizable cost; what remains needs live IR)
+        return [fn(name) for name in names]
+
+    def run_tasks(self, tasks: Sequence[AlignmentTask]
+                  ) -> Tuple[List[TaskResult], float]:
+        """Solve ``tasks`` on the pool; returns ``(results, worker_seconds)``
+        with results in task order and the summed in-worker DP time.
+
+        Raises :class:`TaskFailure` naming the first failed task when a
+        worker raises or dies (e.g. killed mid-batch); the caller owns
+        shutting the executor down.
+        """
+        if not tasks:
+            return [], 0.0
+        chunk_size = max(1, -(-len(tasks) // (self.jobs * self.CHUNKS_PER_JOB)))
+        chunks = [list(tasks[i:i + chunk_size])
+                  for i in range(0, len(tasks), chunk_size)]
+        futures = []
+        for index, chunk in enumerate(chunks):
+            try:
+                futures.append(self._pool.submit(_solve_chunk, chunk))
+            except BaseException as error:  # pool already broken/shut down
+                for pending in futures:
+                    pending.cancel()
+                raise TaskFailure(index * chunk_size, error)
+        results: List[TaskResult] = []
+        worker_seconds = 0.0
+        for index, future in enumerate(futures):
+            try:
+                chunk_results, seconds = future.result()
+            except BaseException as error:  # BrokenProcessPool included
+                # abort immediately: cancel queued chunks rather than
+                # draining a batch's worth of DPs whose results the
+                # (failing) scheduler will throw away anyway
+                for pending in futures[index + 1:]:
+                    pending.cancel()
+                raise TaskFailure(index * chunk_size, error)
+            results.extend(chunk_results)
+            worker_seconds += seconds
+        return results, worker_seconds
+
+    def close(self) -> None:
+        self._pool.shutdown()

@@ -76,6 +76,24 @@ class MergePlan:
 
 
 @dataclass(frozen=True)
+class PendingAlignment:
+    """One alignment DP the hydrate step wants computed out-of-process.
+
+    Produced by the engine's batch hydration
+    (:meth:`~repro.core.engine.engine.MergeEngine.prefetch_alignment_tasks`)
+    for every candidate pair of a batch whose shape is not already in the
+    alignment cache: ``entry`` is the worklist entry that first requested
+    the pair (error attribution), ``key`` the alignment-cache key the
+    result lands under, and ``task`` the picklable pure-data
+    :class:`~repro.core.engine.offload.AlignmentTask` a worker solves.
+    """
+
+    entry: str
+    key: tuple
+    task: object
+
+
+@dataclass(frozen=True)
 class CommitEvents:
     """What one committed merge touched - the scheduler's conflict set.
 

@@ -23,23 +23,45 @@ in place before the walk continues, the sequence of committed merges is
 **bit-identical to the serial engine** for every batch size and executor
 (property-tested in ``tests/core/test_scheduler.py``).
 
-Why there is no process-pool executor: plans carry live references into the
-module's IR objects (the merged function's instructions point at the very
-``Function``/``Value`` objects the committer must mutate), and pickling a
-plan across a process boundary would sever that identity.  A thread pool
-preserves it; on GIL-bound builds the ``jobs=`` knob is therefore mostly an
-API for free-threaded Pythons and for overlap with any GIL-releasing
-kernels, while the wall-clock wins on stock CPython come from the
-incremental commit path this scheduler enables.
+Whole *plans* can never cross a process boundary - they carry live
+references into the module's IR objects (the merged function's instructions
+point at the very ``Function``/``Value`` objects the committer must mutate),
+and pickling one would sever that identity.  The alignment DP inside a plan
+is different: over canonical equivalence-key bytes it is pure data (see
+:mod:`repro.core.engine.offload`).  The ``"process"`` executor therefore
+splits the batch into a *hydrate -> align -> finish-plan* pipeline: the
+scheduler first asks the engine which alignment shapes the batch will need
+(``prefetch``), ships the ones the cache does not already hold to a process
+pool as :class:`~repro.core.engine.offload.AlignmentTask` chunks, stores the
+shapes back into the content-addressed cache (``store``), and only then
+plans the batch - serially, in-process, through the unchanged pipeline,
+whose alignment lookups now all hit.  On stock CPython this is the first
+executor whose ``jobs=`` buys wall-clock with the pure-Python kernels; the
+thread executor remains GIL-bound outside NumPy's GIL-releasing ufuncs.
+
+When ``adaptive=True`` the scheduler additionally retunes its batch size
+between rounds (:class:`AdaptiveBatchSizer`): high observed conflict/replan
+rates shrink the batch multiplicatively (conflicted plans are wasted work),
+sustained low-conflict full batches grow it back (keep the executor's
+workers fed).  The controller is deterministic in the observed stats
+stream, and batch size never affects decisions - only how much planning is
+thrown away - so adaptivity cannot change merge results either.  The sizes
+chosen land in ``stats["batch_size_trace"]``.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
-from .plan import CommitEvents, MergePlan
+from .plan import CommitEvents, MergePlan, PendingAlignment
+
+#: Environment knob selecting the plan executor for engines that leave
+#: ``executor="auto"`` (the CI matrix leg runs the whole suite through the
+#: process offload this way).  Accepts any :data:`EXECUTORS` name.
+ENGINE_EXECUTOR_ENV = "REPRO_ENGINE_EXECUTOR"
 
 
 class PlanningError(RuntimeError):
@@ -58,9 +80,16 @@ class PlanningError(RuntimeError):
 
 
 class PlanExecutor:
-    """Strategy interface: map the planner over one batch of entries."""
+    """Strategy interface: map the planner over one batch of entries.
+
+    Executors that can additionally solve pure-data alignment tasks out of
+    process set ``offloads_alignment = True`` and implement ``run_tasks``
+    (see :class:`~repro.core.engine.offload.ProcessExecutor`); the
+    scheduler then prefixes each batch with the offloaded align phase.
+    """
 
     jobs = 1
+    offloads_alignment = False
 
     def map(self, fn: Callable[[str], Optional[MergePlan]],
             names: List[str]) -> List[Optional[MergePlan]]:
@@ -92,10 +121,19 @@ class ThreadExecutor(PlanExecutor):
         self._pool.shutdown()
 
 
-#: Executor kinds selectable by name.
+def _make_process_executor(jobs: int) -> PlanExecutor:
+    """Registry thunk: the process executor lives in the offload module
+    (which imports this one), so it is resolved lazily."""
+    from .offload import ProcessExecutor
+    return ProcessExecutor(jobs)
+
+
+#: Executor kinds selectable by name.  ``"process"`` plans in the main
+#: process but offloads the alignment DPs to a worker pool as pure data.
 EXECUTORS = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
+    "process": _make_process_executor,
 }
 
 
@@ -104,11 +142,6 @@ def make_executor(kind: str = "auto", jobs: int = 1) -> PlanExecutor:
     and the thread pool otherwise."""
     if kind == "auto":
         kind = "serial" if jobs <= 1 else "thread"
-    if kind == "process":
-        raise ValueError(
-            "process-pool planning is unsupported: plans hold live references "
-            "into the module's IR objects and cannot cross a pickle boundary; "
-            "use the thread executor")
     try:
         cls = EXECUTORS[kind]
     except KeyError:
@@ -117,6 +150,48 @@ def make_executor(kind: str = "auto", jobs: int = 1) -> PlanExecutor:
     if cls is SerialExecutor:
         return SerialExecutor()
     return cls(jobs)
+
+
+class AdaptiveBatchSizer:
+    """Deterministic bounded multiplicative batch-size control.
+
+    After every batch the scheduler reports how many entries it planned and
+    how many of their plans were conflict-discarded; the sizer answers with
+    the next batch size:
+
+    * conflict rate above ``HIGH``: **halve** - most of the batch's planning
+      was thrown away, so plan less speculatively against stale state;
+    * conflict rate at or below ``LOW`` *and* the batch was full (the
+      executor's occupancy signal - a partial batch means the worklist, not
+      the batch size, was the limit): **double** - conflicts are rare, keep
+      every worker fed;
+    * otherwise hold.
+
+    Bounds: never below ``jobs`` (an undersized batch idles workers), never
+    above ``ceiling`` (8x the starting size; re-planning an enormous batch
+    on one conflict spike is the failure mode this exists to avoid).  The
+    next size is a pure function of the observed ``(planned, conflicts)``
+    stream, so identical runs produce identical traces - and batch size
+    never affects merge decisions, only wasted planning work.
+    """
+
+    LOW = 0.05
+    HIGH = 0.25
+
+    def __init__(self, initial: int, jobs: int):
+        self.floor = max(1, int(jobs))
+        self.ceiling = max(int(initial), self.floor) * 8
+        self.size = min(max(int(initial), self.floor), self.ceiling)
+
+    def after_batch(self, planned: int, conflicts: int) -> int:
+        """Observe one batch; return the size for the next one."""
+        if planned > 0:
+            rate = conflicts / planned
+            if rate > self.HIGH:
+                self.size = max(self.floor, self.size // 2)
+            elif rate <= self.LOW and planned >= self.size:
+                self.size = min(self.ceiling, self.size * 2)
+        return self.size
 
 
 class MergeScheduler:
@@ -153,16 +228,33 @@ class MergeScheduler:
                  absorb: Callable[[MergePlan], None],
                  executor: PlanExecutor,
                  batch_size: Optional[int] = None,
-                 content_key: Optional[Callable[[str], Optional[bytes]]] = None):
+                 content_key: Optional[Callable[[str], Optional[bytes]]] = None,
+                 prefetch: Optional[Callable[[List[str]],
+                                             List[PendingAlignment]]] = None,
+                 store: Optional[Callable[[tuple, str, int], None]] = None,
+                 adaptive: bool = False,
+                 on_offload: Optional[Callable[[float], None]] = None):
         self.plan = plan
         self.commit = commit
         self.query_key = query_key
         self.absorb = absorb
         self.executor = executor
         self.content_key = content_key
+        self.prefetch = prefetch
+        self.store = store
+        self.on_offload = on_offload
+        self._offloading = (executor.offloads_alignment
+                            and prefetch is not None and store is not None)
         if batch_size is None:
-            batch_size = 1 if executor.jobs <= 1 else executor.jobs * 4
+            if self._offloading:
+                # the offload amortizes dispatch over the batch; even one
+                # worker wants a few entries per round
+                batch_size = max(4, executor.jobs * 4)
+            else:
+                batch_size = 1 if executor.jobs <= 1 else executor.jobs * 4
         self.batch_size = max(1, batch_size)
+        self._sizer = (AdaptiveBatchSizer(self.batch_size, executor.jobs)
+                       if adaptive else None)
         self.stats: Dict[str, int] = {
             "jobs": executor.jobs,
             "batch_size": self.batch_size,
@@ -174,6 +266,12 @@ class MergeScheduler:
             "replans": 0,
             "wasted_evaluations": 0,
             "content_dup_deferred": 0,
+            "offload_tasks": 0,
+            "offload_rounds": 0,
+            "offload_wall_seconds": 0.0,
+            "offload_worker_seconds": 0.0,
+            "plan_wall_seconds": 0.0,
+            "batch_size_trace": [],
         }
         #: Called after every commit with (plan, events) - used by tests to
         #: cross-check incremental state against from-scratch rebuilds.
@@ -227,20 +325,77 @@ class MergeScheduler:
                 plans[index] = plan
         return plans
 
+    # -- offloaded alignment (the hydrate -> align prefix) -----------------------
+    def _offload_batch(self, batch: List[str]) -> None:
+        """Compute the batch's missing alignment shapes on the executor's
+        worker pool and store them into the alignment cache, so the
+        finish-plan step's (unchanged) pipeline runs DP-free.
+
+        Pure prefetching: a task failure aborts planning (wrapped as
+        :class:`PlanningError` naming the requesting entry), but a stored
+        result can never change a decision - cached shapes are bit-identical
+        to recomputation by the cache's construction.
+        """
+        pending = self.prefetch(batch)
+        if not pending:
+            return
+        start = time.perf_counter()
+        try:
+            results, worker_seconds = self.executor.run_tasks(
+                [p.task for p in pending])
+        except PlanningError:
+            raise
+        except Exception as error:
+            index = getattr(error, "task_index", 0)
+            entry = pending[min(index, len(pending) - 1)].entry
+            raise PlanningError(entry, error) from error
+        wall = time.perf_counter() - start
+        for request, result in zip(pending, results):
+            self.store(request.key, result.ops, result.score)
+        stats = self.stats
+        stats["offload_tasks"] += len(pending)
+        stats["offload_rounds"] += 1
+        stats["offload_wall_seconds"] += wall
+        stats["offload_worker_seconds"] += worker_seconds
+        if self.on_offload is not None:
+            self.on_offload(wall)
+
     # -- driver ------------------------------------------------------------------
     def run(self, worklist: deque, available: set) -> None:
+        """Drive plan/commit batches until the worklist drains.
+
+        Any failure - a planner exception, an offload worker crash - shuts
+        the executor's pool down before propagating, so no branch can leak
+        worker threads/processes even when the scheduler's owner does not
+        reach its own ``close()`` path.
+        """
+        try:
+            self._run(worklist, available)
+        except BaseException:
+            self.close()
+            raise
+
+    def _run(self, worklist: deque, available: set) -> None:
         stats = self.stats
         while worklist:
             batch: List[str] = []
             while worklist and len(batch) < self.batch_size:
                 batch.append(worklist.popleft())
 
+            plan_start = time.perf_counter()
+            if self._offloading:
+                self._offload_batch(batch)
             if len(batch) == 1:
                 plans = [self._plan_one(batch[0])]
             else:
                 plans = self._plan_batch(batch)
+            # calling-thread wall clock of the whole planning phase (offload
+            # included) - comparable across executors, unlike the per-stage
+            # seconds, which sum busy time over planner threads
+            stats["plan_wall_seconds"] += time.perf_counter() - plan_start
             stats["batches"] += 1
             stats["planned"] += len(batch)
+            conflicts_before = stats["conflicts"]
 
             dirty: frozenset = frozenset()
             commits_in_batch = 0
@@ -271,6 +426,11 @@ class MergeScheduler:
                 dirty = dirty | events.dirty
                 if self.on_commit is not None:
                     self.on_commit(plan, events)
+
+            if self._sizer is not None:
+                self.batch_size = self._sizer.after_batch(
+                    len(batch), stats["conflicts"] - conflicts_before)
+                stats["batch_size_trace"].append(self.batch_size)
 
     def close(self) -> None:
         self.executor.close()

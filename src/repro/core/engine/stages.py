@@ -300,6 +300,12 @@ class AlignmentStage(Stage):
         return (self.cache is not None and self.keyed
                 and self.algorithm in self.KEYED_KERNELS)
 
+    @property
+    def scoring_key(self) -> tuple:
+        """The ``(match, mismatch, gap)`` triple as used in cache keys and
+        shipped inside offloaded :class:`AlignmentTask`\\ s."""
+        return self._scoring_key
+
     def align_pair(self, lin1: LinearizedFunction,
                    lin2: LinearizedFunction) -> AlignmentResult:
         return self.timed(self._align, lin1, lin2)

@@ -48,9 +48,11 @@ class FunctionMergingPass(Pass):
                  alignment_kernel: Optional[str] = None,
                  alignment_cache: Union[bool, int] = True,
                  alignment_cache_path: Optional[str] = None,
+                 alignment_cache_max_generations: Optional[int] = None,
                  jobs: Optional[int] = None,
                  executor: str = "auto",
                  batch_size: Optional[int] = None,
+                 adaptive_batch: Optional[bool] = None,
                  incremental_callgraph: bool = True,
                  oracle_prune: bool = True,
                  incremental_fingerprints: bool = True,
@@ -89,10 +91,20 @@ class FunctionMergingPass(Pass):
                 environment variable).  Runs sharing a path warm-start from
                 and save back to it; decisions are bit-identical either
                 way (see :class:`MergeEngine`).
-            jobs / executor / batch_size: plan/commit scheduler knobs - how
-                many worklist entries are planned concurrently and in what
-                batches (see :class:`repro.core.engine.MergeScheduler`).
-                Merge decisions are identical for every setting.
+            alignment_cache_max_generations: compaction horizon for shared
+                snapshots - entries unreferenced for this many consecutive
+                load generations are aged out at save time (default: the
+                ``REPRO_ALIGN_CACHE_MAX_GEN`` environment variable, then
+                32; 0 disables).
+            jobs / executor / batch_size / adaptive_batch: plan/commit
+                scheduler knobs - how many worklist entries are planned
+                concurrently, through which executor (``"process"``
+                offloads the alignment DPs to a worker pool as pure data;
+                default: ``REPRO_ENGINE_EXECUTOR``, then auto), in what
+                batches, and whether the batch size retunes itself from
+                observed conflict rates (see
+                :class:`repro.core.engine.MergeScheduler`).  Merge
+                decisions are identical for every setting.
             incremental_callgraph: maintain the call graph incrementally
                 across commits instead of rebuilding it (default True).
             oracle_prune: skip provably unprofitable candidates in oracle
@@ -110,7 +122,9 @@ class FunctionMergingPass(Pass):
             searcher=searcher, keyed_alignment=keyed_alignment,
             alignment_kernel=alignment_kernel, alignment_cache=alignment_cache,
             alignment_cache_path=alignment_cache_path,
+            alignment_cache_max_generations=alignment_cache_max_generations,
             jobs=jobs, executor=executor, batch_size=batch_size,
+            adaptive_batch=adaptive_batch,
             incremental_callgraph=incremental_callgraph,
             oracle_prune=oracle_prune,
             incremental_fingerprints=incremental_fingerprints,

@@ -71,6 +71,11 @@ class EvaluationSettings:
     #: Plan/commit scheduler parallelism (None = engine default); identical
     #: merge decisions for every value.
     jobs: Optional[int] = None
+    #: Plan executor kind (``"auto"`` = the ``REPRO_ENGINE_EXECUTOR``
+    #: environment variable, then serial/thread by ``jobs``;
+    #: ``"process"`` offloads the alignment DPs to a worker pool as pure
+    #: data).  Identical merge decisions for every executor.
+    executor: str = "auto"
 
 
 @dataclass
@@ -163,7 +168,8 @@ def evaluate_suite(settings: Optional[EvaluationSettings] = None,
                     keyed_alignment=settings.keyed_alignment,
                     alignment_kernel=settings.alignment_kernel,
                     alignment_cache_path=settings.alignment_cache_path,
-                    jobs=settings.jobs)
+                    jobs=settings.jobs,
+                    executor=settings.executor)
                 result.technique = _config_label(config)
                 evaluation.results[(benchmark, target, result.technique)] = result
     return evaluation

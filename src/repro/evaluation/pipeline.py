@@ -171,7 +171,8 @@ def compile_module(module: Module, technique: str, *,
                    keyed_alignment: bool = True,
                    alignment_kernel: Optional[str] = None,
                    alignment_cache_path: Optional[str] = None,
-                   jobs: Optional[int] = None) -> CompilationResult:
+                   jobs: Optional[int] = None,
+                   executor: str = "auto") -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
     ``technique`` is one of ``"baseline"``, ``"identical"``, ``"soa"`` or
@@ -179,12 +180,14 @@ def compile_module(module: Module, technique: str, *,
     compare techniques must regenerate the module per configuration (the
     workload generators are deterministic, so this is cheap and exact).
 
-    ``searcher``, ``keyed_alignment``, ``alignment_kernel`` and ``jobs``
-    select the merge engine's candidate-search / alignment-kernel strategies
-    (``alignment_kernel`` picks the DP backend - e.g. ``"nw-numpy"`` for the
-    vectorized one) and the plan/commit scheduler's parallelism; every
-    choice produces identical merge decisions and only changes the stage
-    timings (the knobs the engine microbenchmarks sweep).
+    ``searcher``, ``keyed_alignment``, ``alignment_kernel``, ``jobs`` and
+    ``executor`` select the merge engine's candidate-search /
+    alignment-kernel strategies (``alignment_kernel`` picks the DP backend
+    - e.g. ``"nw-numpy"`` for the vectorized one) and the plan/commit
+    scheduler's parallelism (``executor="process"`` offloads the alignment
+    DPs to a worker pool); every choice produces identical merge decisions
+    and only changes the stage timings (the knobs the engine
+    microbenchmarks sweep).
 
     ``alignment_cache_path`` (default: the ``REPRO_ALIGN_CACHE`` environment
     variable) names a shared alignment-cache snapshot: every module compiled
@@ -232,7 +235,8 @@ def compile_module(module: Module, technique: str, *,
                 hot_function_filter=hot_filter,
                 searcher=searcher, keyed_alignment=keyed_alignment,
                 alignment_kernel=alignment_kernel,
-                alignment_cache_path=alignment_cache_path, jobs=jobs)
+                alignment_cache_path=alignment_cache_path, jobs=jobs,
+                executor=executor)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

@@ -292,9 +292,18 @@ class TestExecutors:
         finally:
             executor.close()
 
-    def test_process_executor_rejected_with_reason(self):
-        with pytest.raises(ValueError, match="pickle"):
-            make_executor("process", 2)
+    def test_process_executor_offloads_and_maps_in_process(self):
+        # planning (map) stays in the calling process - plans hold live IR -
+        # while run_tasks is the offload seam
+        executor = make_executor("process", 2)
+        try:
+            assert executor.offloads_alignment
+            assert executor.jobs == 2
+            local = object()
+            assert executor.map(lambda name: (name, local),
+                                ["a", "b"]) == [("a", local), ("b", local)]
+        finally:
+            executor.close()
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
@@ -341,8 +350,12 @@ class TestPlanningErrors:
         assert isinstance(excinfo.value.__cause__, KeyError)
         assert excinfo.value.entry == poison
         # the engine's finally path closed the pool despite the error
+        # (shutdown flag name differs between thread and process pools,
+        # and the ambient REPRO_ENGINE_EXECUTOR may select either)
         [scheduler] = schedulers
-        assert scheduler.executor._pool._shutdown
+        pool = scheduler.executor._pool
+        assert (getattr(pool, "_shutdown", False)
+                or getattr(pool, "_shutdown_thread", False))
 
     def test_error_names_the_entry_serially_too(self):
         from repro.core.engine import PlanningError
@@ -377,8 +390,11 @@ class TestCacheAwarePlanning:
         return build_module(seed, families=families, clones=3)
 
     def test_duplicates_deferred_and_never_recomputed(self):
+        # executor pinned to thread: under the process offload, worker
+        # results are stored without a counted miss, so the miss==entries
+        # invariant below is specific to in-process planning
         report = FunctionMergingPass(
-            exploration_threshold=2, jobs=4,
+            exploration_threshold=2, jobs=4, executor="thread",
             batch_size=64).run(self.clone_heavy_module())
         stats = report.scheduler_stats
         assert stats["content_dup_deferred"] > 0
