@@ -65,7 +65,9 @@ _SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.core import FunctionMergingPass, numpy_available  # noqa: E402
+from repro.core import (FunctionMergingPass, native_available,  # noqa: E402
+                        numpy_available)
+from repro.core.engine.align_cache import unpack_ops  # noqa: E402
 from repro.ir.module import Module  # noqa: E402
 from repro.workloads import FamilySpec, FunctionSpec, make_family  # noqa: E402
 
@@ -356,6 +358,11 @@ ALIGN_CONFIGS = {
 if numpy_available():
     ALIGN_CONFIGS["numpy"] = dict(alignment_kernel="nw-numpy")
     ALIGN_CONFIGS["numpy-banded"] = dict(alignment_kernel="nw-banded-numpy")
+    ALIGN_CONFIGS["numpy-wavefront"] = dict(
+        alignment_kernel="nw-wavefront-numpy")
+if native_available():
+    ALIGN_CONFIGS["native"] = dict(alignment_kernel="nw-native")
+    ALIGN_CONFIGS["native-banded"] = dict(alignment_kernel="nw-banded-native")
 
 #: Workload sizes: function-body shapes from small (the engine-bench shape)
 #: to large (hundreds of linearized entries, where the DP dominates).
@@ -449,6 +456,15 @@ def run_persistence_bench(scale: float = BENCH_SCALE) -> dict:
                 "decisions": _decisions(report),
             }
         snapshot_bytes = os.path.getsize(path)
+        # v3 snapshots store each distinct op string once, run-length
+        # packed; compare against the v2-style inline encoding to report
+        # what the table saves
+        with open(path) as handle:
+            snapshot = json.load(handle)
+        ops_table = snapshot.get("ops", [])
+        packed_bytes = sum(len(item) for item in ops_table)
+        inline_bytes = sum(len(unpack_ops(ops_table[row[3]]))
+                           for row in snapshot.get("entries", []))
 
     if runs["warm"]["decisions"] != runs["cold"]["decisions"]:
         raise AssertionError(
@@ -459,6 +475,8 @@ def run_persistence_bench(scale: float = BENCH_SCALE) -> dict:
         "runs": {label: {k: v for k, v in run.items() if k != "decisions"}
                  for label, run in runs.items()},
         "snapshot_bytes": snapshot_bytes,
+        "snapshot_ops_bytes_packed": packed_bytes,
+        "snapshot_ops_bytes_saved": inline_bytes - packed_bytes,
         "warm_hit_rate": runs["warm"]["align_cache"]["hit_rate"],
         "warm_cross_run_hits": runs["warm"]["cross_run_hits"],
         "alignment_speedup_warm_vs_cold": (cold_align / warm_align
@@ -495,14 +513,24 @@ def run_alignment_bench(scale: float = BENCH_SCALE,
         ratio = sizes["large"]["alignment_speedup_vs_python"][name]
         if ratio is not None and (best_ratio is None or ratio > best_ratio):
             best_name, best_ratio = name, ratio
+    native_vs_numpy = None
+    if "native" in ALIGN_CONFIGS and "numpy" in ALIGN_CONFIGS:
+        numpy_seconds = \
+            sizes["large"]["configs"]["numpy"]["alignment_seconds"]
+        native_seconds = \
+            sizes["large"]["configs"]["native"]["alignment_seconds"]
+        if native_seconds:
+            native_vs_numpy = numpy_seconds / native_seconds
     return {
         "benchmark": "alignment_kernels",
         "scale": scale,
         "repeats": repeats,
         "numpy_available": numpy_available(),
+        "native_available": native_available(),
         "sizes": sizes,
         "best_kernel_on_large": best_name,
         "alignment_stage_speedup": best_ratio,
+        "native_speedup_vs_numpy_on_large": native_vs_numpy,
         "persistence": run_persistence_bench(scale),
     }
 
@@ -528,6 +556,13 @@ def emit_alignment(payload: dict, path: str = ALIGN_OUT) -> None:
           f"align stage {speedup:.2f}x vs cold"
           if speedup is not None else
           "  persisted cache: warm run skipped the alignment stage entirely")
+    saved = persistence.get("snapshot_ops_bytes_saved")
+    if saved is not None:
+        print(f"  snapshot ops table: {persistence['snapshot_ops_bytes_packed']}"
+              f" bytes packed (saves {saved} vs inline op strings)")
+    native_ratio = payload.get("native_speedup_vs_numpy_on_large")
+    if native_ratio is not None:
+        print(f"  native vs numpy on large: {native_ratio:.2f}x")
     print(f"  best large-workload kernel: {payload['best_kernel_on_large']} "
           f"({payload['alignment_stage_speedup']:.2f}x) -> {path}")
 
@@ -543,10 +578,17 @@ def test_alignment_kernel_bench():
         for config in size["configs"].values():
             assert "hit_rate" in config["align_cache"]
     assert payload["alignment_stage_speedup"] > 3.0
+    if payload["native_available"] and payload["numpy_available"]:
+        # the PR 6 acceptance tripwire: the C kernel at least 2x the
+        # vectorized NumPy backend on the large workload
+        assert payload["native_speedup_vs_numpy_on_large"] >= 2.0, \
+            (f"native kernel only "
+             f"{payload['native_speedup_vs_numpy_on_large']:.2f}x numpy")
     persistence = payload["persistence"]
     assert persistence["warm_hit_rate"] >= 0.9
     assert persistence["warm_cross_run_hits"] > 0
     assert persistence["runs"]["cold"]["cross_run_hits"] == 0
+    assert persistence["snapshot_ops_bytes_saved"] >= 0
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ this legacy ``setup.py`` path (``--no-use-pep517`` / develop mode).  All
 project metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro",
@@ -18,4 +18,12 @@ setup(
     # the core stays dependency-free; the "fast" extra enables the
     # vectorized NumPy alignment backend (nw-numpy / nw-banded-numpy)
     extras_require={"fast": ["numpy"]},
+    # the native DP kernels (nw-native / nw-banded-native).  optional=True:
+    # a missing compiler skips the extension instead of failing the
+    # install - repro.core.native then degrades to the NumPy or pure tier
+    # (and can still build the extension on demand where a compiler
+    # appears later).
+    ext_modules=[Extension("repro.core._nw_native",
+                           sources=["src/repro/core/_nw_native.c"],
+                           optional=True)],
 )

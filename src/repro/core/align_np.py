@@ -12,14 +12,30 @@ moves - so a whole row can be computed with three vectorized steps:
    shifted back by ``+ j*gap``;
 3. nothing else - step 2 already includes ``k = j`` (no gap moves).
 
-Equivalence comes in as a boolean matrix: ``np.equal.outer`` over the
-precomputed integer equivalence keys (see :mod:`repro.core.equivalence`) for
-the keyed kernels, or predicate evaluations for the generic front door.  The
-traceback then runs over the finished matrix **reusing the pure-Python
-traceback routines**, so entries and tie-breaking are bit-identical to
-:func:`~repro.core.alignment.needleman_wunsch` by construction - the fill
-computes the same integers, the traceback walks them with the same move
-preference (diagonal, then seq1 gap, then seq2 gap).
+Equivalence comes in as boolean rows over the precomputed integer
+equivalence keys (see :mod:`repro.core.equivalence`) for the keyed kernels,
+or predicate evaluations for the generic front door.  The full fills use
+**packed tracebacks**: instead of keeping the whole int64 score matrix
+alive for a Python traceback, each row records one ``uint8`` move per cell
+(~8x less peak memory), chosen with the exact equality tests the
+pure-Python traceback would apply to the same integers - so entries and
+tie-breaking are bit-identical to
+:func:`~repro.core.alignment.needleman_wunsch` by construction.  The moves
+are decoded by the shared :func:`repro.core.alignment.moves_to_ops`
+routine (one tie-breaking definition for every packed backend, native C
+included).
+
+Two full-fill formulations are provided:
+
+* ``nw-numpy`` - the row-vectorized recurrence above (one O(m) vector op
+  sequence per row);
+* ``nw-wavefront-numpy`` - an anti-diagonal wavefront: cells on the
+  anti-diagonal ``i + j = k`` depend only on diagonals ``k-1`` and ``k-2``,
+  so each step computes ``min(n, m)``-wide vectors with *no* in-row
+  gap-closure scan.  On very large pairs where the row loop is bound by
+  the ``maximum.accumulate`` latency chain this exposes the full SIMD
+  width per step; on small pairs the extra bookkeeping loses to
+  ``nw-numpy``.
 
 The banded variants mirror :func:`~repro.core.alignment._try_banded` exactly
 (same band geometry, same optimality certificate, same fallback), with each
@@ -48,19 +64,22 @@ from typing import List, Optional, Sequence, TypeVar
 from typing import Tuple
 
 from .alignment import (AlignmentResult, EquivalenceFn, ScoringScheme,
-                        _banded_traceback, _default_equivalence, _traceback,
-                        derive_band_margin, needleman_wunsch_keyed, ops_string,
+                        MOVE_LEFT, MOVE_MATCH, MOVE_MISMATCH, MOVE_UP,
+                        _banded_traceback, _default_equivalence,
+                        derive_band_margin, moves_to_ops,
+                        needleman_wunsch_keyed, ops_string, result_from_ops,
                         DEFAULT_BAND_MARGIN, _NEG)
 
 T = TypeVar("T")
 
 #: Kernel names served by this module.
-NUMPY_KERNELS = ("nw-numpy", "nw-banded-numpy")
+NUMPY_KERNELS = ("nw-numpy", "nw-banded-numpy", "nw-wavefront-numpy")
 
 #: Pure-Python algorithm each NumPy kernel downgrades to (identical results).
 PURE_PYTHON_FALLBACKS = {
     "nw-numpy": "needleman-wunsch",
     "nw-banded-numpy": "nw-banded",
+    "nw-wavefront-numpy": "needleman-wunsch",
 }
 
 _numpy = None  # unresolved; False once an import attempt failed
@@ -100,29 +119,92 @@ def require_numpy(kernel: str):
 # Full-matrix fill
 # ---------------------------------------------------------------------------
 
-def _nw_fill_numpy(np, n: int, m: int, eq, scoring: ScoringScheme):
-    """Vectorized NW fill: same (n+1)x(m+1) int matrix as ``_nw_fill``.
+def _nw_fill_moves_numpy(np, n: int, m: int, eq_row_of,
+                         scoring: ScoringScheme):
+    """Vectorized NW fill with a packed traceback: two rolling int64 rows
+    plus a ``uint8`` move per cell instead of the full score matrix.
 
-    ``eq`` is an (n, m) boolean array.  Works row by row; every row is three
-    ufunc calls plus the gap-closure scan described in the module docstring.
+    ``eq_row_of(i)`` returns the boolean equivalence row of ``seq1[i]``
+    against all of ``seq2`` (0-based).  The recorded move per cell is
+    decided by the same equality tests the pure-Python traceback applies -
+    diagonal first (``row == prev_diag + sub``), then the seq1-side gap
+    (``row == prev + gap``), else the seq2-side gap - so decoding the moves
+    with :func:`~repro.core.alignment.moves_to_ops` reproduces
+    ``_traceback`` exactly.  Returns ``(moves, score)``.
     """
     gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
-    score = np.empty((n + 1, m + 1), dtype=np.int64)
     gj = np.arange(m + 1, dtype=np.int64) * gap
-    score[0] = gj
-    sub = np.where(eq, np.int64(match), np.int64(mismatch))
+    prev = gj.copy()
+    row = np.empty(m + 1, dtype=np.int64)
+    moves = np.empty((n, m), dtype=np.uint8)
     for i in range(1, n + 1):
-        prev = score[i - 1]
-        row = score[i]
-        # diagonal and up moves
-        np.add(prev[:m], sub[i - 1], out=row[1:])
-        np.maximum(row[1:], prev[1:] + gap, out=row[1:])
+        eq = eq_row_of(i - 1)
+        sub = np.where(eq, np.int64(match), np.int64(mismatch))
+        diag = prev[:m] + sub
+        up = prev[1:] + gap
+        # diagonal and up candidates, then the in-row gap closure
+        # row[j] = gj[j] + cummax(row - gj)[j]
+        np.maximum(diag, up, out=row[1:])
         row[0] = i * gap
-        # in-row gap closure: row[j] = gj[j] + cummax(row - gj)[j]
         np.subtract(row, gj, out=row)
         np.maximum.accumulate(row, out=row)
         np.add(row, gj, out=row)
-    return score
+        # the traceback's move decision, made at fill time: diagonal wins
+        # ties, then the seq1-side gap, else the seq2-side (in-row) gap
+        final = row[1:]
+        moves[i - 1] = np.where(
+            final == diag,
+            np.where(eq, np.uint8(MOVE_MATCH), np.uint8(MOVE_MISMATCH)),
+            np.where(final == up, np.uint8(MOVE_UP), np.uint8(MOVE_LEFT)))
+        prev, row = row, prev
+    return moves, int(prev[m])
+
+
+def _nw_fill_wavefront_numpy(np, n: int, m: int, eq_diag_of,
+                             scoring: ScoringScheme):
+    """Anti-diagonal wavefront NW fill with the same packed traceback.
+
+    Cells on the anti-diagonal ``i + j = k`` depend on diagonal ``k-1``
+    (both gap moves) and ``k-2`` (the substitution move) only, so each step
+    is a handful of ufunc calls over a ``min(n, m)``-wide vector with no
+    sequential in-row scan - the whole SIMD width works per step.  Three
+    rotating buffers indexed by ``i`` hold the last three diagonals.
+
+    ``eq_diag_of(ii, jj)`` returns the boolean equivalence of
+    ``seq1[ii - 1]`` vs ``seq2[jj - 1]`` for parallel index vectors (both
+    >= 1).  Returns ``(moves, score)`` exactly as the row fill does.
+    """
+    gap, match, mismatch = scoring.gap, scoring.match, scoring.mismatch
+    if n == 0 or m == 0:
+        return (np.empty((n, m), dtype=np.uint8), (n + m) * gap)
+    d_km2 = np.empty(n + 1, dtype=np.int64)  # diagonal k-2
+    d_km1 = np.empty(n + 1, dtype=np.int64)  # diagonal k-1
+    d_k = np.empty(n + 1, dtype=np.int64)    # diagonal k (being filled)
+    d_km1[0] = 0  # cell (0, 0)
+    moves = np.empty((n, m), dtype=np.uint8)
+    for k in range(1, n + m + 1):
+        ilo, ihi = max(0, k - m), min(n, k)
+        if ilo == 0:
+            d_k[0] = k * gap        # cell (0, k): leading seq2 gaps
+        if ihi == k:
+            d_k[k] = k * gap        # cell (k, 0): leading seq1 gaps
+        i0, i1 = max(ilo, 1), min(ihi, k - 1)
+        if i0 <= i1:
+            ii = np.arange(i0, i1 + 1, dtype=np.intp)
+            jj = k - ii
+            eq = eq_diag_of(ii, jj)
+            sub = np.where(eq, np.int64(match), np.int64(mismatch))
+            diag = d_km2[i0 - 1:i1] + sub       # (i-1, j-1) on diagonal k-2
+            up = d_km1[i0 - 1:i1] + gap         # (i-1, j)   on diagonal k-1
+            left = d_km1[i0:i1 + 1] + gap       # (i, j-1)   on diagonal k-1
+            best = np.maximum(diag, np.maximum(up, left))
+            d_k[i0:i1 + 1] = best
+            moves[ii - 1, jj - 1] = np.where(
+                best == diag,
+                np.where(eq, np.uint8(MOVE_MATCH), np.uint8(MOVE_MISMATCH)),
+                np.where(best == up, np.uint8(MOVE_UP), np.uint8(MOVE_LEFT)))
+        d_km2, d_km1, d_k = d_km1, d_k, d_km2
+    return moves, int(d_km1[n])
 
 
 def _int_keys(np, keys: Sequence[int]):
@@ -148,10 +230,9 @@ def needleman_wunsch_numpy_keyed(seq1: Sequence[T], seq2: Sequence[T],
     if k1 is None or k2 is None:
         return needleman_wunsch_keyed(seq1, seq2, keys1, keys2, scoring)
     n, m = len(seq1), len(seq2)
-    eq = np.equal.outer(k1, k2)
-    score = _nw_fill_numpy(np, n, m, eq, scoring)
-    entries = _traceback(seq1, seq2, score, eq, scoring)
-    return AlignmentResult(entries, int(score[n][m]))
+    moves, score = _nw_fill_moves_numpy(np, n, m, lambda i: k1[i] == k2,
+                                        scoring)
+    return result_from_ops(moves_to_ops(moves, n, m), score, seq1, seq2)
 
 
 def needleman_wunsch_numpy(seq1: Sequence[T], seq2: Sequence[T],
@@ -162,7 +243,7 @@ def needleman_wunsch_numpy(seq1: Sequence[T], seq2: Sequence[T],
 
     The predicate is still evaluated n*m times (same as the pure kernel);
     only the DP arithmetic is vectorized.  Prefer the keyed variant, which
-    replaces the predicate sweep with one ``np.equal.outer``.
+    replaces the predicate sweep with per-row key compares.
     """
     np = require_numpy("nw-numpy")
     n, m = len(seq1), len(seq2)
@@ -170,9 +251,44 @@ def needleman_wunsch_numpy(seq1: Sequence[T], seq2: Sequence[T],
     for i in range(n):
         a = seq1[i]
         eq[i] = [equivalent(a, b) for b in seq2]
-    score = _nw_fill_numpy(np, n, m, eq, scoring)
-    entries = _traceback(seq1, seq2, score, eq, scoring)
-    return AlignmentResult(entries, int(score[n][m]))
+    moves, score = _nw_fill_moves_numpy(np, n, m, lambda i: eq[i], scoring)
+    return result_from_ops(moves_to_ops(moves, n, m), score, seq1, seq2)
+
+
+def needleman_wunsch_wavefront_numpy_keyed(seq1: Sequence[T],
+                                           seq2: Sequence[T],
+                                           keys1: Sequence[int],
+                                           keys2: Sequence[int],
+                                           scoring: ScoringScheme = ScoringScheme()
+                                           ) -> AlignmentResult[T]:
+    """Anti-diagonal wavefront NW over integer equivalence keys; identical
+    entries and score to the row-vectorized and pure-Python kernels."""
+    np = require_numpy("nw-wavefront-numpy")
+    k1 = _int_keys(np, keys1)
+    k2 = _int_keys(np, keys2)
+    if k1 is None or k2 is None:
+        return needleman_wunsch_keyed(seq1, seq2, keys1, keys2, scoring)
+    n, m = len(seq1), len(seq2)
+    moves, score = _nw_fill_wavefront_numpy(
+        np, n, m, lambda ii, jj: k1[ii - 1] == k2[jj - 1], scoring)
+    return result_from_ops(moves_to_ops(moves, n, m), score, seq1, seq2)
+
+
+def needleman_wunsch_wavefront_numpy(seq1: Sequence[T], seq2: Sequence[T],
+                                     equivalent: EquivalenceFn = _default_equivalence,
+                                     scoring: ScoringScheme = ScoringScheme()
+                                     ) -> AlignmentResult[T]:
+    """Wavefront NW behind the generic predicate interface (predicate sweep
+    still n*m Python calls; only the DP runs on anti-diagonals)."""
+    np = require_numpy("nw-wavefront-numpy")
+    n, m = len(seq1), len(seq2)
+    eq = np.empty((n, m), dtype=bool)
+    for i in range(n):
+        a = seq1[i]
+        eq[i] = [equivalent(a, b) for b in seq2]
+    moves, score = _nw_fill_wavefront_numpy(
+        np, n, m, lambda ii, jj: eq[ii - 1, jj - 1], scoring)
+    return result_from_ops(moves_to_ops(moves, n, m), score, seq1, seq2)
 
 
 # ---------------------------------------------------------------------------
@@ -334,4 +450,5 @@ def solve_keyed_alignment_numpy(keys1: Sequence[int], keys2: Sequence[int],
 KEYED_NUMPY_KERNELS = {
     "nw-numpy": needleman_wunsch_numpy_keyed,
     "nw-banded-numpy": needleman_wunsch_banded_numpy_keyed,
+    "nw-wavefront-numpy": needleman_wunsch_wavefront_numpy_keyed,
 }

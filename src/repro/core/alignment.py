@@ -127,6 +127,92 @@ def ops_string(entries: List[AlignedEntry[T]]) -> str:
         for e in entries)
 
 
+def result_from_ops(ops: str, score: int, seq1: Sequence[T],
+                    seq2: Sequence[T]) -> AlignmentResult[T]:
+    """Rebuild an :class:`AlignmentResult` for a concrete pair from its
+    shape (op string + score): the inverse of :func:`ops_string`.
+
+    This is how cached, offloaded and native alignments come back to life:
+    the shape carries everything the DP decided, the sequences supply the
+    concrete elements.  Raises ValueError when the ops do not consume the
+    sequences exactly (a corrupt or mismatched shape).
+    """
+    entries: List[AlignedEntry[T]] = []
+    i = j = 0
+    for op in ops:
+        if op == "m":
+            entries.append(AlignedEntry(seq1[i], seq2[j]))
+            i += 1
+            j += 1
+        elif op == "l":
+            entries.append(AlignedEntry(seq1[i], None))
+            i += 1
+        else:
+            entries.append(AlignedEntry(None, seq2[j]))
+            j += 1
+    if i != len(seq1) or j != len(seq2):
+        raise ValueError("alignment shape does not cover the sequences "
+                         f"({i}/{len(seq1)}, {j}/{len(seq2)})")
+    return AlignmentResult(entries, score)
+
+
+# -- packed tracebacks -------------------------------------------------------
+#
+# The fast fills (native C, packed NumPy, wavefront) do not keep the score
+# matrix for a Python traceback; they record one *move* per DP cell in a
+# uint8 matrix, chosen during the fill with the exact preference order of
+# :func:`_traceback` (diagonal - match or mismatch - then the seq1-side gap,
+# then the seq2-side gap).  That is ~8x less peak memory than the int64
+# score matrix, and the decode below is shared by every packed backend so
+# tie-breaking is defined in exactly one place.
+
+#: Packed move codes (shared with ``_nw_native.c``).
+MOVE_MATCH = 0
+MOVE_MISMATCH = 1
+MOVE_UP = 2    #: gap in seq2 - consumes seq1[i-1], emits ``l``
+MOVE_LEFT = 3  #: gap in seq1 - consumes seq2[j-1], emits ``r``
+
+
+def moves_to_ops(moves, n: int, m: int) -> str:
+    """Decode a packed ``(n, m)`` move matrix into the forward op string.
+
+    ``moves[i][j]`` (0-based) is the move recorded for DP cell
+    ``(i+1, j+1)``; boundary cells have no recorded move (``i == 0`` forces
+    ``r``, ``j == 0`` forces ``l``, the implicit gap runs of the DP).
+    Mismatch diagonals expand to ``l`` then ``r`` in forward order,
+    mirroring :func:`_traceback`'s two one-sided entries.
+    """
+    out: List[str] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i == 0:
+            out.append("r")
+            j -= 1
+            continue
+        if j == 0:
+            out.append("l")
+            i -= 1
+            continue
+        move = moves[i - 1][j - 1]
+        if move == MOVE_MATCH:
+            out.append("m")
+            i -= 1
+            j -= 1
+        elif move == MOVE_MISMATCH:
+            out.append("r")
+            out.append("l")
+            i -= 1
+            j -= 1
+        elif move == MOVE_UP:
+            out.append("l")
+            i -= 1
+        else:
+            out.append("r")
+            j -= 1
+    out.reverse()
+    return "".join(out)
+
+
 #: Keyed kernel per algorithm name accepted by :func:`solve_keyed_alignment`
 #: (populated after the kernels are defined; all bit-identical).
 _KEYED_SOLVERS: dict = {}
@@ -586,8 +672,30 @@ def _numpy_algorithm(kernel: str):
             equivalent: EquivalenceFn = _default_equivalence,
             scoring: ScoringScheme = ScoringScheme()) -> AlignmentResult[T]:
         from . import align_np
-        fn = (align_np.needleman_wunsch_numpy if kernel == "nw-numpy"
-              else align_np.needleman_wunsch_banded_numpy)
+        fn = {"nw-numpy": align_np.needleman_wunsch_numpy,
+              "nw-banded-numpy": align_np.needleman_wunsch_banded_numpy,
+              "nw-wavefront-numpy": align_np.needleman_wunsch_wavefront_numpy,
+              }[kernel]
+        return fn(seq1, seq2, equivalent, scoring)
+
+    run.__name__ = kernel.replace("-", "_")
+    return run
+
+
+def _native_algorithm(kernel: str):
+    """Registry thunk for the C-extension backend (:mod:`repro.core.native`).
+
+    Same late-binding discipline as :func:`_numpy_algorithm`: importing
+    this module never imports (or builds) the extension; calling the thunk
+    without it raises an ImportError naming the build requirements.
+    """
+
+    def run(seq1: Sequence[T], seq2: Sequence[T],
+            equivalent: EquivalenceFn = _default_equivalence,
+            scoring: ScoringScheme = ScoringScheme()) -> AlignmentResult[T]:
+        from . import native
+        fn = (native.needleman_wunsch_native if kernel == "nw-native"
+              else native.needleman_wunsch_banded_native)
         return fn(seq1, seq2, equivalent, scoring)
 
     run.__name__ = kernel.replace("-", "_")
@@ -595,7 +703,9 @@ def _numpy_algorithm(kernel: str):
 
 
 #: Registry of alignment algorithms for the ablation benches.  The
-#: ``*-numpy`` entries require the optional ``fast`` extra (NumPy) and
+#: ``*-numpy`` entries require the optional ``fast`` extra (NumPy), the
+#: ``*-native`` entries require the ``_nw_native`` C extension (built with
+#: the ``fast`` extra when a compiler is present, or on demand); all
 #: produce bit-identical results to their pure-Python counterparts.
 ALGORITHMS = {
     "needleman-wunsch": needleman_wunsch,
@@ -604,6 +714,9 @@ ALGORITHMS = {
     "hirschberg": hirschberg,
     "nw-numpy": _numpy_algorithm("nw-numpy"),
     "nw-banded-numpy": _numpy_algorithm("nw-banded-numpy"),
+    "nw-wavefront-numpy": _numpy_algorithm("nw-wavefront-numpy"),
+    "nw-native": _native_algorithm("nw-native"),
+    "nw-banded-native": _native_algorithm("nw-banded-native"),
 }
 
 _KEYED_SOLVERS.update({

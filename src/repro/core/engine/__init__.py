@@ -26,8 +26,9 @@ Public API:
 from .align_cache import ALIGN_CACHE_ENV, ALIGN_CACHE_MAX_GEN_ENV, AlignmentCache
 from .base import Stage, StageStats
 from .engine import MergeEngine
-from .offload import (AlignmentTask, ProcessExecutor, TaskFailure,
-                      TaskResult, solve_alignment_task)
+from .offload import (AlignmentTask, AlignmentTaskGroup, ProcessExecutor,
+                      TaskFailure, TaskResult, solve_alignment_group,
+                      solve_alignment_task)
 from .plan import CommitEvents, MergePlan, PendingAlignment, PlanDecision
 from .prune import ProfitBoundIndex
 from .report import STAGES, MergeRecord, MergeReport
@@ -45,7 +46,8 @@ __all__ = [
     "MergeScheduler", "PlanExecutor", "PlanningError", "SerialExecutor",
     "ThreadExecutor", "ProcessExecutor", "EXECUTORS", "ENGINE_EXECUTOR_ENV",
     "AdaptiveBatchSizer", "make_executor",
-    "AlignmentTask", "TaskResult", "TaskFailure", "solve_alignment_task",
+    "AlignmentTask", "AlignmentTaskGroup", "TaskResult", "TaskFailure",
+    "solve_alignment_task", "solve_alignment_group",
     "MergePlan", "PlanDecision", "CommitEvents", "PendingAlignment",
     "ProfitBoundIndex",
     "Stage", "StageStats",

@@ -78,7 +78,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
-from ..alignment import AlignedEntry, AlignmentResult, ops_string
+from ..alignment import (AlignedEntry, AlignmentResult, ops_string,
+                         result_from_ops)
 
 #: Rough per-entry bookkeeping cost (two 16-byte digests, the scoring key
 #: parts, dict/OrderedDict slots) used for the ``bytes`` stat.
@@ -89,11 +90,15 @@ _ENTRY_OVERHEAD = 160
 #: rejected (with a warning) instead of silently misinterpreted - except
 #: versions listed in :data:`READABLE_VERSIONS`, which parse compatibly.
 SNAPSHOT_FORMAT = "repro-align-cache"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 #: Snapshot versions :meth:`AlignmentCache.load` still understands.
 #: Version 1 rows lack the per-entry generation; they load as generation 0.
-READABLE_VERSIONS = (1, SNAPSHOT_VERSION)
+#: Version 2 rows carry the raw op string inline; version 3 stores each
+#: *distinct* op string once, run-length packed, in a shared table that
+#: rows index into - clone families produce many entries with the same
+#: shape, so the table collapses the snapshot's dominant redundancy.
+READABLE_VERSIONS = (1, 2, SNAPSHOT_VERSION)
 
 #: Environment knob naming a shared snapshot file: engines without an
 #: explicit ``alignment_cache_path`` load it before each run and save back
@@ -220,6 +225,47 @@ class _SnapshotError(ValueError):
     """A snapshot file exists but cannot be trusted (the reason says why)."""
 
 
+def pack_ops(ops: str) -> str:
+    """Run-length encode an ``m``/``l``/``r`` op string.
+
+    ``"mmmllr"`` packs to ``"3m2lr"``; the count prefix is omitted for
+    single ops, so packing never grows a string.  Near-identical pairs -
+    the profitable ones, hence the ones a long-lived snapshot accumulates -
+    are dominated by long ``m`` runs and pack down dramatically.
+    """
+    if not ops:
+        return ""
+    out = []
+    run_char = ops[0]
+    run = 1
+    for char in ops[1:]:
+        if char == run_char:
+            run += 1
+        else:
+            out.append(f"{run}{run_char}" if run > 1 else run_char)
+            run_char = char
+            run = 1
+    out.append(f"{run}{run_char}" if run > 1 else run_char)
+    return "".join(out)
+
+
+def unpack_ops(packed: str) -> str:
+    """Inverse of :func:`pack_ops`; raises ValueError on malformed input."""
+    out = []
+    count = 0
+    for char in packed:
+        if char in "123456789" or (char == "0" and count):
+            count = count * 10 + int(char)
+        elif char in "mlr":
+            out.append(char * (count if count else 1))
+            count = 0
+        else:
+            raise ValueError(f"bad character {char!r} in packed op string")
+    if count:
+        raise ValueError("packed op string ends with a dangling count")
+    return "".join(out)
+
+
 def ops_of(entries: List[AlignedEntry]) -> str:
     """Serialize alignment entries to the compact op string (alias of
     :func:`repro.core.alignment.ops_string`, kept for call sites that think
@@ -228,24 +274,10 @@ def ops_of(entries: List[AlignedEntry]) -> str:
 
 
 def rehydrate(ops: str, score: int, seq1, seq2) -> AlignmentResult:
-    """Rebuild an :class:`AlignmentResult` for a concrete pair from ops."""
-    entries: List[AlignedEntry] = []
-    i = j = 0
-    for op in ops:
-        if op == "m":
-            entries.append(AlignedEntry(seq1[i], seq2[j]))
-            i += 1
-            j += 1
-        elif op == "l":
-            entries.append(AlignedEntry(seq1[i], None))
-            i += 1
-        else:
-            entries.append(AlignedEntry(None, seq2[j]))
-            j += 1
-    if i != len(seq1) or j != len(seq2):
-        raise ValueError("cached alignment does not cover the sequences "
-                         f"({i}/{len(seq1)}, {j}/{len(seq2)})")
-    return AlignmentResult(entries, score)
+    """Rebuild an :class:`AlignmentResult` for a concrete pair from ops
+    (alias of :func:`repro.core.alignment.result_from_ops`, kept for call
+    sites that think in cache terms)."""
+    return result_from_ops(ops, score, seq1, seq2)
 
 
 class AlignmentCache:
@@ -426,14 +458,27 @@ class AlignmentCache:
             merged = OrderedDict(
                 (key, value) for key, value in merged.items()
                 if value[2] >= horizon)
-        entries = [self._encode_key(key) + [ops, score, gen]
-                   for key, (ops, score, gen) in merged.items()]
+        # v3 layout: rows index into a table of distinct packed op strings,
+        # so clone families (many pairs, one alignment shape) store each
+        # shape exactly once
+        ops_table: List[str] = []
+        ops_index: Dict[str, int] = {}
+        entries = []
+        for key, (ops, score, gen) in merged.items():
+            packed = pack_ops(ops)
+            index = ops_index.get(packed)
+            if index is None:
+                index = len(ops_table)
+                ops_index[packed] = index
+                ops_table.append(packed)
+            entries.append(self._encode_key(key) + [index, score, gen])
         snapshot = {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
             "generation": generation,
+            "ops": ops_table,
             "entries": entries,
-            "checksum": _entries_checksum(entries),
+            "checksum": _entries_checksum([ops_table, entries]),
         }
         tmp_path = f"{path}.tmp.{os.getpid()}"
         try:
@@ -471,7 +516,16 @@ class AlignmentCache:
         entries = snapshot.get("entries")
         if not isinstance(entries, list):
             raise _SnapshotError("malformed entry table")
-        if snapshot.get("checksum") != _entries_checksum(entries):
+        ops_table: Optional[list] = None
+        if version >= 3:
+            ops_table = snapshot.get("ops")
+            if not (isinstance(ops_table, list)
+                    and all(isinstance(item, str) for item in ops_table)):
+                raise _SnapshotError("malformed ops table")
+            checksummed = [ops_table, entries]
+        else:
+            checksummed = entries
+        if snapshot.get("checksum") != _entries_checksum(checksummed):
             raise _SnapshotError(
                 "checksum mismatch (truncated or corrupted file)")
         generation = snapshot.get("generation", 0)
@@ -482,7 +536,15 @@ class AlignmentCache:
         try:
             for row in entries:
                 key = self._decode_key(row[:3])
-                ops, score = row[3], row[4]
+                if version >= 3:
+                    index, score = row[3], row[4]
+                    if not (isinstance(index, int)
+                            and not isinstance(index, bool)
+                            and 0 <= index < len(ops_table)):
+                        raise ValueError("ops-table index out of range")
+                    ops = unpack_ops(ops_table[index])
+                else:
+                    ops, score = row[3], row[4]
                 gen = row[5] if version >= 2 else 0
                 if not (isinstance(ops, str) and set(ops) <= {"m", "l", "r"}
                         and isinstance(score, int)

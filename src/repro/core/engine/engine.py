@@ -260,6 +260,12 @@ class MergeEngine:
         self._available: set = set()
         self._worklist: deque = deque()
         self._report: Optional[MergeReport] = None
+        # candidate rankings computed by the hydrate step, handed to the
+        # finish-plan step of the same batch: name -> (fingerprint index
+        # generation, limit, ranked candidates).  Entries are only reused
+        # while the generation matches, so a reused ranking is bit-identical
+        # to the re-query it replaces.
+        self._rank_cache: Dict[str, tuple] = {}
 
     # -- helpers ---------------------------------------------------------------
     def _eligible(self, function: Function) -> bool:
@@ -300,7 +306,16 @@ class MergeEngine:
             return None
 
         limit = 0 if self.oracle else self.exploration_threshold
-        candidates = self.candidate_search.query(name, limit)
+        cached = self._rank_cache.pop(name, None)
+        if (cached is not None and cached[0] == self.fingerprint.generation
+                and cached[1] == limit):
+            # the hydrate step already ranked this entry against the same
+            # index generation: reuse its candidates instead of re-querying
+            candidates = cached[2]
+            self.candidate_search.stats.bump("candidates", len(candidates))
+            self.candidate_search.stats.bump("rank_reuse_hits")
+        else:
+            candidates = self.candidate_search.query(name, limit)
         plan = MergePlan(name=name, limit=limit, candidates=candidates)
 
         best: Optional[PlanDecision] = None
@@ -402,11 +417,12 @@ class MergeEngine:
 
         Read-only, like planning itself: candidate rankings come from the
         (idempotent) searcher, linearizations from the linearize stage's
-        cache (warming it for the finish-plan step).  The finish-plan step
-        re-ranks each entry through the candidate-search stage - the same
-        microsecond-scale re-query the committer's conflict check already
-        relies on, accepted here so the planning pipeline stays a single
-        unchanged code path.  Pairs are deduplicated
+        cache (warming it for the finish-plan step).  Each entry's ranking
+        is stashed - keyed by the fingerprint index generation - and handed
+        to the finish-plan step, which reuses it instead of re-querying as
+        long as no commit has moved the generation on (surfaced as
+        ``rank_reuse_hits``; the committer's conflict check still re-queries
+        through :meth:`_query_key`).  Pairs are deduplicated
         by cache key across the batch - clone families request each distinct
         DP once - and pairs already cached are skipped entirely, so warm
         runs dispatch nothing.  In oracle mode, pairs the profit-bound index
@@ -443,7 +459,10 @@ class MergeEngine:
         if function1 is None:
             return
         lin1 = None
-        for candidate in self.searcher.rank_candidates(name, limit):
+        candidates = self.searcher.rank_candidates(name, limit)
+        self._rank_cache[name] = (self.fingerprint.generation, limit,
+                                  candidates)
+        for candidate in candidates:
             partner = candidate.function_name
             if partner not in self._available:
                 continue
@@ -604,6 +623,7 @@ class MergeEngine:
         # the original pass built a fresh ranker per run(): a reused engine
         # must not rank against the previous module's fingerprints
         self.fingerprint.clear()
+        self._rank_cache.clear()
         report = MergeReport()
 
         self.preprocess.run(module)
@@ -641,9 +661,12 @@ class MergeEngine:
             self._module = None
             self._call_graph = None
             self._report = None
+            self._rank_cache.clear()
 
         report.stale_entries = scheduler.stats["stale_entries"]
         report.scheduler_stats = dict(scheduler.stats)
+        report.scheduler_stats["rank_reuse_hits"] = int(
+            self.candidate_search.stats.counters.get("rank_reuse_hits", 0))
         if self.align_cache is not None:
             if (self.alignment_cache_path is not None
                     and self.alignment.uses_cache):

@@ -18,9 +18,20 @@ self-contained and interner-independent: the worker re-interns them with
 :func:`~repro.core.equivalence.decode_canonical_keys` (never-equivalent
 markers get fresh negative ids, exactly like the live interner) and runs
 the keyed kernel of its choice.  Every keyed kernel is bit-identical, so
-**each worker picks its own**: the vectorized NumPy kernel when NumPy is
-importable in the worker process, the pure-Python kernel otherwise
+**each worker picks its own**: the native C kernel when the ``_nw_native``
+extension is importable (or buildable) in the worker process, the
+vectorized NumPy kernel when NumPy is, the pure-Python kernel otherwise
 (overridable per executor for tests and benchmarks).
+
+Before dispatch, tasks sharing one left sequence are **packed** into a
+single :class:`AlignmentTaskGroup` carrying ``keys1`` once: clone families
+align many candidates against the same leader, so per round the duplicated
+left-sequence bytes - typically half of every task's payload - cross the
+pickle boundary once instead of once per pair.  The savings are accounted
+in the executor's ``offload_bytes_saved`` counter (surfaced as a scheduler
+stat).  Packing only deduplicates transport; each pair is still decoded
+and solved independently, in dispatch order, so results are byte-for-byte
+what per-task dispatch would produce.
 
 :class:`ProcessExecutor` plugs this into the scheduler's ``PlanExecutor``
 seam.  Its :meth:`ProcessExecutor.map` - the *finish-plan* step - runs in
@@ -45,18 +56,22 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..align_np import numpy_available, solve_keyed_alignment_numpy
+from ..align_np import (numpy_available, require_numpy,
+                        solve_keyed_alignment_numpy)
 from ..alignment import ScoringScheme, solve_keyed_alignment
 from ..equivalence import decode_canonical_keys
+from ..native import (native_available, require_native,
+                      solve_keyed_alignment_native)
 from .scheduler import PlanExecutor
 
 #: Worker kernel modes accepted by :class:`ProcessExecutor` /
-#: :func:`_init_worker`.  ``"auto"`` is the production setting (NumPy when
-#: the worker can import it); ``"pure"`` pins the pure-Python kernel, used
-#: by tests to exercise the dependency-free leg deterministically.
-WORKER_KERNELS = ("auto", "pure")
+#: :func:`_init_worker`.  ``"auto"`` is the production setting (native when
+#: the worker can load the C extension, NumPy when it can import it);
+#: ``"native"``/``"numpy"``/``"pure"`` pin one tier, used by tests and
+#: benchmarks to exercise a specific leg deterministically.
+WORKER_KERNELS = ("auto", "native", "numpy", "pure")
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,18 @@ class AlignmentTask:
 
     keys1: Tuple[bytes, ...]
     keys2: Tuple[bytes, ...]
+    scoring: Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class AlignmentTaskGroup:
+    """A packed batch of tasks sharing one left sequence (see the module
+    docstring): ``keys1`` and ``scoring`` once, one ``keys2`` per pair.
+    Solved pairwise in order; equivalent to the corresponding
+    :class:`AlignmentTask` list, only cheaper to pickle."""
+
+    keys1: Tuple[bytes, ...]
+    keys2_list: Tuple[Tuple[bytes, ...], ...]
     scoring: Tuple[int, int, int]
 
 
@@ -106,12 +133,21 @@ _worker_solver = None
 
 
 def _resolve_solver(kernel: str = "auto"):
-    """Pick this process's task solver: NumPy when importable (and not
-    pinned to ``"pure"``), the pure-Python keyed kernel otherwise."""
+    """Pick this process's task solver: native > NumPy > pure for
+    ``"auto"``, or exactly the pinned tier (raising when a pinned tier is
+    unavailable in this process - the failure surfaces as a
+    :class:`TaskFailure` on the dispatching side)."""
     if kernel not in WORKER_KERNELS:
         raise ValueError(f"unknown offload worker kernel {kernel!r}; "
                          f"available: {WORKER_KERNELS}")
-    if kernel == "auto" and numpy_available():
+    if kernel == "native" or (kernel == "auto" and native_available()):
+        if kernel == "native":
+            require_native("nw-native")  # pinned: fail loudly, not silently
+        return lambda k1, k2, scoring: solve_keyed_alignment_native(
+            k1, k2, scoring)
+    if kernel == "numpy" or (kernel == "auto" and numpy_available()):
+        if kernel == "numpy":
+            require_numpy("nw-numpy")
         return lambda k1, k2, scoring: solve_keyed_alignment_numpy(
             k1, k2, scoring)
     return lambda k1, k2, scoring: solve_keyed_alignment(k1, k2, scoring)
@@ -142,6 +178,32 @@ def _solve_chunk(tasks: List[AlignmentTask]) -> Tuple[List[TaskResult], float]:
     return results, time.perf_counter() - start
 
 
+def solve_alignment_group(group: AlignmentTaskGroup) -> List[TaskResult]:
+    """Solve one packed group in this process: one result per ``keys2``,
+    in order.  Each pair decodes and solves independently - exactly what
+    the unpacked :class:`AlignmentTask` list would produce."""
+    global _worker_solver
+    if _worker_solver is None:
+        _worker_solver = _resolve_solver()
+    scoring = ScoringScheme(*group.scoring)
+    results: List[TaskResult] = []
+    for keys2 in group.keys2_list:
+        keys1, keys2 = decode_canonical_keys(group.keys1, keys2)
+        ops, score = _worker_solver(keys1, keys2, scoring)
+        results.append(TaskResult(ops, score))
+    return results
+
+
+def _solve_group_chunk(groups: List[AlignmentTaskGroup]
+                       ) -> Tuple[List[TaskResult], float]:
+    """Worker entry for packed dispatch: flat results in group order."""
+    start = time.perf_counter()
+    results: List[TaskResult] = []
+    for group in groups:
+        results.extend(solve_alignment_group(group))
+    return results, time.perf_counter() - start
+
+
 # -- executor side -------------------------------------------------------------
 
 class ProcessExecutor(PlanExecutor):
@@ -152,7 +214,8 @@ class ProcessExecutor(PlanExecutor):
     pipeline is *hydrate -> align (offloaded) -> finish-plan*: the DP work
     crosses the process boundary as :class:`AlignmentTask` pure data and
     everything else stays put.  ``kernel`` selects the workers' solver
-    (``"auto"``: NumPy when the worker can import it).
+    (``"auto"``: native C when the worker can load the extension, NumPy
+    when it can import it, pure Python otherwise).
 
     Worker processes are spawned lazily by the pool on first dispatch, so
     building the executor is cheap and a run whose alignments all hit the
@@ -172,6 +235,10 @@ class ProcessExecutor(PlanExecutor):
                              f"available: {WORKER_KERNELS}")
         self.jobs = max(1, int(jobs))
         self.kernel = kernel
+        #: Cumulative left-sequence bytes that task packing kept off the
+        #: pickle boundary (see the module docstring); surfaced in the
+        #: scheduler's ``offload_bytes_saved`` stat.
+        self.offload_bytes_saved = 0
         self._pool = ProcessPoolExecutor(max_workers=self.jobs,
                                          initializer=_init_worker,
                                          initargs=(kernel,))
@@ -192,18 +259,36 @@ class ProcessExecutor(PlanExecutor):
         """
         if not tasks:
             return [], 0.0
-        chunk_size = max(1, -(-len(tasks) // (self.jobs * self.CHUNKS_PER_JOB)))
-        chunks = [list(tasks[i:i + chunk_size])
-                  for i in range(0, len(tasks), chunk_size)]
+        # pack pairs sharing one left sequence: keys1 crosses the pickle
+        # boundary once per (left, scoring) family instead of once per pair
+        families: dict = {}
+        for index, task in enumerate(tasks):
+            families.setdefault((task.keys1, task.scoring), []).append(index)
+        groups: List[AlignmentTaskGroup] = []
+        order: List[List[int]] = []
+        for (keys1, scoring), indices in families.items():
+            groups.append(AlignmentTaskGroup(
+                keys1=keys1,
+                keys2_list=tuple(tasks[i].keys2 for i in indices),
+                scoring=scoring))
+            order.append(indices)
+            if len(indices) > 1:
+                self.offload_bytes_saved += ((len(indices) - 1)
+                                             * sum(map(len, keys1)))
+        chunk_size = max(1, -(-len(groups) // (self.jobs * self.CHUNKS_PER_JOB)))
+        chunks = [groups[i:i + chunk_size]
+                  for i in range(0, len(groups), chunk_size)]
+        chunk_orders = [order[i:i + chunk_size]
+                        for i in range(0, len(order), chunk_size)]
         futures = []
         for index, chunk in enumerate(chunks):
             try:
-                futures.append(self._pool.submit(_solve_chunk, chunk))
+                futures.append(self._pool.submit(_solve_group_chunk, chunk))
             except BaseException as error:  # pool already broken/shut down
                 for pending in futures:
                     pending.cancel()
-                raise TaskFailure(index * chunk_size, error)
-        results: List[TaskResult] = []
+                raise TaskFailure(chunk_orders[index][0][0], error)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
         worker_seconds = 0.0
         for index, future in enumerate(futures):
             try:
@@ -214,8 +299,12 @@ class ProcessExecutor(PlanExecutor):
                 # (failing) scheduler will throw away anyway
                 for pending in futures[index + 1:]:
                     pending.cancel()
-                raise TaskFailure(index * chunk_size, error)
-            results.extend(chunk_results)
+                raise TaskFailure(chunk_orders[index][0][0], error)
+            pos = 0
+            for indices in chunk_orders[index]:
+                for original in indices:
+                    results[original] = chunk_results[pos]
+                    pos += 1
             worker_seconds += seconds
         return results, worker_seconds
 

@@ -268,6 +268,7 @@ class MergeScheduler:
             "content_dup_deferred": 0,
             "offload_tasks": 0,
             "offload_rounds": 0,
+            "offload_bytes_saved": 0,
             "offload_wall_seconds": 0.0,
             "offload_worker_seconds": 0.0,
             "plan_wall_seconds": 0.0,
@@ -355,6 +356,8 @@ class MergeScheduler:
         stats = self.stats
         stats["offload_tasks"] += len(pending)
         stats["offload_rounds"] += 1
+        stats["offload_bytes_saved"] = getattr(self.executor,
+                                               "offload_bytes_saved", 0)
         stats["offload_wall_seconds"] += wall
         stats["offload_worker_seconds"] += worker_seconds
         if self.on_offload is not None:

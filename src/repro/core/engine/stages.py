@@ -23,6 +23,8 @@ from ..align_np import (KEYED_NUMPY_KERNELS, NUMPY_KERNELS,
                         PURE_PYTHON_FALLBACKS, numpy_available, require_numpy)
 from ..alignment import (ALGORITHMS, AlignmentResult, ScoringScheme, align,
                          needleman_wunsch_banded_keyed, needleman_wunsch_keyed)
+from ..native import (KEYED_NATIVE_KERNELS, NATIVE_KERNELS, native_available,
+                      native_fallback, require_native)
 from ..codegen import MergeOptions, MergeResult, merge_functions
 from ..equivalence import EquivalenceKeyInterner, entries_equivalent
 from ..fingerprint import Fingerprint
@@ -46,14 +48,14 @@ def resolve_alignment_kernel(kernel: Optional[str], algorithm: str) -> str:
     Priority: the explicit ``kernel`` argument, then the
     ``REPRO_ALIGN_KERNEL`` environment variable, then ``algorithm`` (the
     historical ``MergeOptions.alignment_algorithm``).  ``"auto"`` picks the
-    NumPy backend when it is importable and the keyed pure-Python kernel
-    otherwise.
+    fastest available tier: the native C extension, then the NumPy backend,
+    then the keyed pure-Python kernel - all bit-identical.
 
-    Requesting a NumPy kernel explicitly (argument or options) without
-    NumPy installed raises an ImportError naming the ``fast`` extra;
-    requesting it through the *environment* downgrades to the pure-Python
-    kernel of identical behaviour with a warning instead, so a globally
-    exported knob never breaks dependency-free checkouts.
+    Requesting a NumPy or native kernel explicitly (argument or options)
+    when its backend is unavailable raises an ImportError naming what to
+    install; requesting it through the *environment* downgrades to the best
+    still-available kernel of identical behaviour with a warning instead,
+    so a globally exported knob never breaks dependency-free checkouts.
     """
     explicit = kernel is not None
     if kernel is None:
@@ -62,10 +64,21 @@ def resolve_alignment_kernel(kernel: Optional[str], algorithm: str) -> str:
             kernel = algorithm
             explicit = True
     if kernel == "auto":
+        if native_available():
+            return "nw-native"
         return "nw-numpy" if numpy_available() else algorithm
     if kernel not in ALGORITHMS:
         raise ValueError(f"unknown alignment kernel {kernel!r}; "
                          f"available: {sorted(set(ALGORITHMS))} (or 'auto')")
+    if kernel in NATIVE_KERNELS and not native_available():
+        if explicit:
+            require_native(kernel)  # raises, naming the build requirements
+        fallback = native_fallback(kernel)
+        warnings.warn(
+            f"{ALIGN_KERNEL_ENV}={kernel} requested but the _nw_native C "
+            f"extension is not available; falling back to the {fallback!r} "
+            f"kernel (identical alignments)", RuntimeWarning, stacklevel=2)
+        kernel = fallback  # may itself be a NumPy kernel: checked below
     if kernel in NUMPY_KERNELS and not numpy_available():
         if explicit:
             require_numpy(kernel)  # raises, naming the 'fast' extra
@@ -112,6 +125,12 @@ class FingerprintStage(Stage):
         # rewritten callers by their original fingerprints) entries here are
         # dropped whenever a commit rewrites the function's body
         self._live: Dict[str, Fingerprint] = {}
+        #: Bumped on every mutation of the searcher's *index* (add, remove,
+        #: merged-add, clear).  Candidate rankings computed against one
+        #: generation stay valid - and reusable - for as long as the
+        #: generation does not change; ``invalidate_live`` deliberately does
+        #: not bump it (live fingerprints never influence rankings).
+        self.generation = 0
 
     def _index(self, function: Function, fp: Fingerprint) -> None:
         add = getattr(self.searcher, "add_fingerprint", None)
@@ -121,6 +140,7 @@ class FingerprintStage(Stage):
             self.searcher.add_function(function)
 
     def _add(self, functions: List[Function]) -> None:
+        self.generation += 1
         for function in functions:
             fp = Fingerprint.of(function)
             self._live[fp.function_name] = fp
@@ -142,6 +162,7 @@ class FingerprintStage(Stage):
         self.stats.bump("functions")
 
         def _do() -> None:
+            self.generation += 1
             self._live[function.name] = fp
             self._index(function, fp)
             if self.profit_bounds is not None:
@@ -166,6 +187,7 @@ class FingerprintStage(Stage):
         self._live.pop(name, None)
 
     def _remove(self, name: str) -> None:
+        self.generation += 1
         self.searcher.remove_function(name)
         self._live.pop(name, None)
         if self.profit_bounds is not None:
@@ -187,6 +209,7 @@ class FingerprintStage(Stage):
             self.timed(self.profit_bounds.add_functions, functions)
 
     def clear(self) -> None:
+        self.generation += 1
         self.searcher.clear()
         self._live.clear()
         if self.profit_bounds is not None:
@@ -256,9 +279,9 @@ class AlignmentStage(Stage):
     to its fast integer-key kernel when one exists; results are identical to
     the predicate-based algorithms, only cheaper per cell.  ``kernel``
     overrides the algorithm name (falling back to the ``REPRO_ALIGN_KERNEL``
-    environment variable, then to ``algorithm``); the ``nw-numpy`` /
-    ``nw-banded-numpy`` kernels run the vectorized backend of
-    :mod:`repro.core.align_np`.
+    environment variable, then to ``algorithm``); the ``*-numpy`` kernels
+    run the vectorized backend of :mod:`repro.core.align_np`, the
+    ``*-native`` kernels the C extension behind :mod:`repro.core.native`.
 
     When a :class:`~repro.core.engine.align_cache.AlignmentCache` is
     attached, keyed alignments are memoised by linearization content: a
@@ -280,6 +303,7 @@ class AlignmentStage(Stage):
         "nw-banded": needleman_wunsch_banded_keyed,
     }
     KEYED_KERNELS.update(KEYED_NUMPY_KERNELS)
+    KEYED_KERNELS.update(KEYED_NATIVE_KERNELS)
 
     def __init__(self, scoring: ScoringScheme = ScoringScheme(),
                  algorithm: str = "needleman-wunsch", keyed: bool = True,

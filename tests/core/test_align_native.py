@@ -1,0 +1,362 @@
+"""Property tests for the native (C) alignment kernels and the wavefront.
+
+The contract mirrors :mod:`tests.core.test_align_numpy`: *bit-identical
+output*.  For every pair of sequences, every scoring scheme, and both the
+full and the banded variant (certified or fallen back), ``nw-native``,
+``nw-banded-native`` and ``nw-wavefront-numpy`` must return the same score
+and the same entry list - same tie-breaking included - as the pure-Python
+:func:`needleman_wunsch`.  The extension-absent behaviour (a clear error
+naming the build requirements for explicit requests, a warned downgrade to
+the NumPy or pure tier for the environment knob) is tested by simulating a
+failed build, mirroring the NumPy-absent leg.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FunctionMergingPass, MergeEngine, align_np
+from repro.core import native as native_mod
+from repro.core.align_np import (needleman_wunsch_wavefront_numpy,
+                                 needleman_wunsch_wavefront_numpy_keyed,
+                                 numpy_available)
+from repro.core.alignment import (ALGORITHMS, ScoringScheme, align,
+                                  needleman_wunsch, needleman_wunsch_keyed,
+                                  ops_string, solve_keyed_alignment)
+from repro.core.engine import ProcessExecutor
+from repro.core.engine.stages import AlignmentStage, resolve_alignment_kernel
+from repro.core.native import (native_available,
+                               needleman_wunsch_banded_native,
+                               needleman_wunsch_banded_native_keyed,
+                               needleman_wunsch_native,
+                               needleman_wunsch_native_keyed,
+                               solve_keyed_alignment_native)
+from repro.ir import Module, verify_or_raise
+from repro.workloads import FamilySpec, FunctionSpec, make_family
+
+requires_native = pytest.mark.skipif(
+    not native_available(), reason="native extension not buildable here")
+requires_numpy = pytest.mark.skipif(not numpy_available(),
+                                    reason="NumPy not installed")
+
+short_text = st.text(alphabet="ABCD", max_size=14)
+scorings = st.builds(ScoringScheme,
+                     match=st.integers(1, 3),
+                     mismatch=st.integers(-3, 0),
+                     gap=st.integers(-3, 0))
+band_margins = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+
+
+def entry_pairs(result):
+    return [(e.left, e.right) for e in result.entries]
+
+
+def assert_same(got, want):
+    assert got.score == want.score
+    assert entry_pairs(got) == entry_pairs(want)
+
+
+def build_module(seed=7, families=4, clones=2):
+    module = Module(f"native_{seed}")
+    rng = random.Random(seed)
+    for index in range(families):
+        spec = FunctionSpec(
+            f"fam{index}",
+            num_blocks=2 + (index + seed) % 3,
+            instructions_per_block=4 + ((index + seed) % 4) * 2,
+            call_ratio=0.3, memory_ratio=0.2,
+            returns_float=bool((index + seed) % 5 == 1),
+            seed=100 + 13 * seed + index)
+        make_family(module, spec,
+                    FamilySpec(identical=1, structural=clones, partial=1), rng)
+    return module
+
+
+def decisions(report):
+    return [(m.function1, m.function2, m.merged_name, m.rank_position, m.delta)
+            for m in report.merges]
+
+
+#: The seed engine configuration (the pre-scheduler implementation).
+SEED_CONFIG = dict(searcher="linear", keyed_alignment=False,
+                   jobs=1, batch_size=1, incremental_callgraph=False)
+
+
+# -- exact parity with the pure-Python kernels --------------------------------
+
+@requires_native
+@settings(max_examples=100, deadline=None)
+@given(short_text, short_text, scorings)
+def test_native_full_matches_nw_entries_and_score(seq1, seq2, scoring):
+    want = needleman_wunsch(seq1, seq2, scoring=scoring)
+    assert_same(needleman_wunsch_native(seq1, seq2, scoring=scoring), want)
+
+
+@requires_native
+@settings(max_examples=100, deadline=None)
+@given(short_text, short_text, scorings)
+def test_native_keyed_matches_keyed_kernel(seq1, seq2, scoring):
+    keys1 = [ord(c) for c in seq1]
+    keys2 = [ord(c) for c in seq2]
+    want = needleman_wunsch_keyed(seq1, seq2, keys1, keys2, scoring)
+    got = needleman_wunsch_native_keyed(seq1, seq2, keys1, keys2, scoring)
+    assert_same(got, want)
+    assert_same(got, needleman_wunsch(seq1, seq2, scoring=scoring))
+
+
+@requires_native
+@settings(max_examples=100, deadline=None)
+@given(short_text, short_text, scorings, band_margins)
+def test_native_banded_matches_nw_incl_fallback(seq1, seq2, scoring, margin):
+    """Tiny margins force the certificate to fail on dissimilar pairs, so
+    this exercises both the certified band and the full-DP fallback."""
+    want = needleman_wunsch(seq1, seq2, scoring=scoring)
+    keys1 = [ord(c) for c in seq1]
+    keys2 = [ord(c) for c in seq2]
+    assert_same(needleman_wunsch_banded_native_keyed(
+        seq1, seq2, keys1, keys2, scoring, band_margin=margin), want)
+    assert_same(needleman_wunsch_banded_native(
+        seq1, seq2, scoring=scoring, band_margin=margin), want)
+
+
+@requires_numpy
+@settings(max_examples=100, deadline=None)
+@given(short_text, short_text, scorings)
+def test_wavefront_matches_nw_entries_and_score(seq1, seq2, scoring):
+    want = needleman_wunsch(seq1, seq2, scoring=scoring)
+    keys1 = [ord(c) for c in seq1]
+    keys2 = [ord(c) for c in seq2]
+    assert_same(needleman_wunsch_wavefront_numpy(seq1, seq2, scoring=scoring),
+                want)
+    assert_same(needleman_wunsch_wavefront_numpy_keyed(
+        seq1, seq2, keys1, keys2, scoring), want)
+
+
+@requires_native
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 3), max_size=12),
+       st.lists(st.integers(0, 3), max_size=12), scorings,
+       st.booleans())
+def test_solve_keyed_native_matches_pure_solver(keys1, keys2, scoring, banded):
+    want = solve_keyed_alignment(keys1, keys2, scoring,
+                                 "nw-banded" if banded else "needleman-wunsch")
+    got = solve_keyed_alignment_native(keys1, keys2, scoring, banded=banded)
+    assert got == want
+
+
+@requires_native
+@pytest.mark.parametrize("seq1,seq2", [("", ""), ("", "ABC"), ("ABC", ""),
+                                       ("A", "A"), ("A", "B"),
+                                       ("AAAA", "AAAA")])
+def test_native_degenerate_sequences(seq1, seq2):
+    want = needleman_wunsch(seq1, seq2)
+    keys1, keys2 = [ord(c) for c in seq1], [ord(c) for c in seq2]
+    assert_same(needleman_wunsch_native(seq1, seq2), want)
+    assert_same(needleman_wunsch_native_keyed(seq1, seq2, keys1, keys2), want)
+    assert_same(needleman_wunsch_banded_native(seq1, seq2), want)
+    assert_same(needleman_wunsch_banded_native_keyed(seq1, seq2, keys1, keys2),
+                want)
+    if numpy_available():
+        assert_same(needleman_wunsch_wavefront_numpy(seq1, seq2), want)
+        assert_same(needleman_wunsch_wavefront_numpy_keyed(
+            seq1, seq2, keys1, keys2), want)
+
+
+@requires_native
+def test_never_equivalent_keys_never_match():
+    # the linearizer's never-equivalent marker decodes to keys that differ
+    # everywhere; the native kernel must score them as all-mismatch, the
+    # same as the pure kernel does
+    from repro.core import decode_canonical_keys
+    k1, k2 = decode_canonical_keys([b"!", b"(i1;)"], [b"!", b"(i1;)"])
+    want = needleman_wunsch_keyed("AB", "AB", k1, k2)
+    assert_same(needleman_wunsch_native_keyed("AB", "AB", k1, k2), want)
+    assert solve_keyed_alignment_native(k1, k2, ScoringScheme()) \
+        == (ops_string(want.entries), want.score)
+
+
+@requires_native
+def test_huge_scores_fall_back_to_pure_and_still_match():
+    # weights too large for the int64 guard: the native wrappers must
+    # degrade to the pure kernel, not overflow
+    scoring = ScoringScheme(match=2**61, mismatch=-2**61, gap=-2**61)
+    want = needleman_wunsch("ABCA", "ABDA", scoring=scoring)
+    keys1, keys2 = [ord(c) for c in "ABCA"], [ord(c) for c in "ABDA"]
+    assert_same(needleman_wunsch_native_keyed("ABCA", "ABDA", keys1, keys2,
+                                              scoring), want)
+    assert solve_keyed_alignment_native(keys1, keys2, scoring) \
+        == (ops_string(want.entries), want.score)
+    # keys outside int64 take the same fallback
+    big = [2**70, 2**70 + 1]
+    want_big = needleman_wunsch_keyed("AB", "AB", big, big)
+    assert_same(needleman_wunsch_native_keyed("AB", "AB", big, big), want_big)
+
+
+@requires_native
+def test_native_banded_certifies_near_identical_pair_without_fallback():
+    native = native_mod.require_native("nw-banded-native")
+    keys1 = list(range(300))
+    keys2 = list(range(300))
+    keys2[150] = 99999
+    from repro.core.alignment import derive_band_margin
+    shape = native.solve_banded_keyed(keys1, keys2, 1, -1, -1,
+                                      derive_band_margin(keys1, keys2))
+    assert shape is not None  # narrow band, certificate holds
+    want = needleman_wunsch_keyed(keys1, keys2, keys1, keys2)
+    assert shape == (ops_string(want.entries), want.score)
+
+
+@requires_native
+def test_front_door_dispatches_native_algorithms():
+    want = needleman_wunsch("ABCA", "ABDA")
+    assert_same(align("ABCA", "ABDA", algorithm="nw-native"), want)
+    assert_same(align("ABCA", "ABDA", algorithm="nw-banded-native"), want)
+    assert "nw-native" in ALGORITHMS and "nw-banded-native" in ALGORITHMS
+    if numpy_available():
+        assert_same(align("ABCA", "ABDA", algorithm="nw-wavefront-numpy"),
+                    want)
+        assert "nw-wavefront-numpy" in ALGORITHMS
+
+
+@requires_native
+def test_scores_are_plain_ints():
+    result = needleman_wunsch_native_keyed("ABC", "ABD", [1, 2, 3], [1, 2, 4])
+    assert type(result.score) is int
+    banded = needleman_wunsch_banded_native_keyed("ABC", "ABD",
+                                                  [1, 2, 3], [1, 2, 4])
+    assert type(banded.score) is int
+    ops, score = solve_keyed_alignment_native([1, 2, 3], [1, 2, 4])
+    assert type(ops) is str and type(score) is int
+
+
+# -- kernel resolution: explicit / env / auto ---------------------------------
+
+@requires_native
+def test_stage_kernel_argument_selects_native():
+    assert AlignmentStage(kernel="nw-native").algorithm == "nw-native"
+    assert AlignmentStage(
+        kernel="nw-banded-native").algorithm == "nw-banded-native"
+
+
+@requires_native
+def test_env_knob_selects_native_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_ALIGN_KERNEL", "nw-native")
+    assert AlignmentStage().algorithm == "nw-native"
+
+
+@requires_native
+def test_auto_resolves_to_native_when_available():
+    assert resolve_alignment_kernel("auto", "needleman-wunsch") == "nw-native"
+
+
+# -- engine parity across executors ------------------------------------------
+
+@requires_native
+class TestNativeEngineParity:
+    """The native-kernel engine reproduces the seed engine bit for bit."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_executor_jobs_parity_on_randomized_modules(self, seed):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(seed))
+        for executor, jobs in (("serial", 1), ("thread", 2), ("process", 2)):
+            module = build_module(seed)
+            report = FunctionMergingPass(
+                exploration_threshold=2, alignment_kernel="nw-native",
+                executor=executor, jobs=jobs).run(module)
+            assert decisions(report) == decisions(reference), (executor, jobs)
+            verify_or_raise(module)
+
+    def test_banded_native_parity(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(11))
+        report = FunctionMergingPass(
+            exploration_threshold=2,
+            alignment_kernel="nw-banded-native").run(build_module(11))
+        assert decisions(report) == decisions(reference)
+
+    @requires_numpy
+    def test_wavefront_parity(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(5))
+        report = FunctionMergingPass(
+            exploration_threshold=2,
+            alignment_kernel="nw-wavefront-numpy").run(build_module(5))
+        assert decisions(report) == decisions(reference)
+
+    def test_native_worker_leg(self):
+        # workers pinned to the native solver (auto would pick it too when
+        # the build cache is warm; pinning makes the leg deterministic)
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(9))
+        engine = MergeEngine(exploration_threshold=2, batch_size=8)
+        executor = ProcessExecutor(2, kernel="native")
+        scheduler = engine.make_scheduler(executor=executor)
+        module = build_module(9)
+        try:
+            report = engine.run(module, scheduler=scheduler)
+        finally:
+            scheduler.close()
+        assert decisions(report) == decisions(reference)
+        assert report.scheduler_stats["offload_tasks"] > 0
+
+
+# -- behaviour without the extension ------------------------------------------
+
+class TestWithoutNative:
+    """Simulate an environment where the extension cannot be built."""
+
+    @pytest.fixture(autouse=True)
+    def no_native(self, monkeypatch):
+        monkeypatch.setattr(native_mod, "_native", False)
+        monkeypatch.setattr(native_mod, "_load_error", "simulated: no C "
+                            "compiler in this environment")
+        # isolate from an ambient REPRO_ALIGN_KERNEL (the CI native leg
+        # exports one); env-sourced requests downgrade instead of raising
+        monkeypatch.delenv("REPRO_ALIGN_KERNEL", raising=False)
+
+    def test_kernel_call_raises_naming_the_build(self):
+        with pytest.raises(ImportError, match="compil"):
+            needleman_wunsch_native_keyed("AB", "AB", [1, 2], [1, 2])
+        with pytest.raises(ImportError, match="compil"):
+            align("AB", "AB", algorithm="nw-native")
+
+    def test_explicit_stage_request_raises(self):
+        with pytest.raises(ImportError, match="compil"):
+            AlignmentStage(kernel="nw-native")
+        with pytest.raises(ImportError, match="compil"):
+            AlignmentStage(algorithm="nw-banded-native")
+
+    def test_env_request_warns_and_downgrades(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ALIGN_KERNEL", "nw-native")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            stage = AlignmentStage()
+        # the downgrade lands on the NumPy twin when available, pure else
+        want = "nw-numpy" if numpy_available() else "needleman-wunsch"
+        assert stage.algorithm == want
+        monkeypatch.setenv("REPRO_ALIGN_KERNEL", "nw-banded-native")
+        want = "nw-banded-numpy" if numpy_available() else "nw-banded"
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert AlignmentStage().algorithm == want
+
+    def test_auto_skips_the_native_tier(self):
+        want = "nw-numpy" if numpy_available() else "needleman-wunsch"
+        assert resolve_alignment_kernel("auto", "needleman-wunsch") == want
+
+    def test_engine_still_runs_and_decisions_match(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(3))
+        report = FunctionMergingPass(
+            exploration_threshold=2).run(build_module(3))
+        assert decisions(report) == decisions(reference)
+
+    def test_env_disable_knob_reports_unavailable(self, monkeypatch):
+        # REPRO_NATIVE=0 must read as "not available" even where a compiler
+        # exists; resolution then skips the native tier (monkeypatch restores
+        # the probe state afterwards)
+        monkeypatch.setattr(native_mod, "_native", None)  # force re-probe
+        monkeypatch.setenv(native_mod.NATIVE_ENV, "0")
+        assert not native_mod.native_available()

@@ -150,6 +150,11 @@ def test_env_knob_selects_kernel(monkeypatch):
 
 
 def test_auto_kernel_resolution(monkeypatch):
+    from repro.core import native
+    if native.native_available():
+        assert resolve_alignment_kernel("auto", "needleman-wunsch") == \
+            "nw-native"
+    monkeypatch.setattr(native, "_native", False)  # simulate no extension
     if numpy_available():
         assert resolve_alignment_kernel("auto", "needleman-wunsch") == "nw-numpy"
     monkeypatch.setattr(align_np, "_numpy", False)

@@ -20,7 +20,9 @@ from hypothesis import strategies as st
 
 from repro.core import FunctionMergingPass, MergeEngine, numpy_available
 from repro.core.engine.align_cache import (ALIGN_CACHE_ENV, SNAPSHOT_VERSION,
-                                           AlignmentCache)
+                                           AlignmentCache, pack_ops,
+                                           unpack_ops)
+from repro.core.native import native_available
 from repro.evaluation.pipeline import compile_module
 from repro.ir import Module
 from repro.workloads import FamilySpec, FunctionSpec, make_family
@@ -201,11 +203,19 @@ class TestSnapshotRejection:
     def test_malformed_entry(self, tmp_path):
         path = self._valid_snapshot(tmp_path)
         snapshot = json.load(open(path))
-        snapshot["entries"][0][3] = "mxl"  # invalid op letter
+        snapshot["entries"][0][3] = "mxl"  # not an ops-table index
         from repro.core.engine.align_cache import _entries_checksum
-        snapshot["checksum"] = _entries_checksum(snapshot["entries"])
+        snapshot["checksum"] = _entries_checksum(
+            [snapshot["ops"], snapshot["entries"]])
         json.dump(snapshot, open(path, "w"))
         self._assert_cold(path, "malformed")
+
+    def test_malformed_ops_table(self, tmp_path):
+        path = self._valid_snapshot(tmp_path)
+        snapshot = json.load(open(path))
+        snapshot["ops"] = "3m"  # must be a list of packed strings
+        json.dump(snapshot, open(path, "w"))
+        self._assert_cold(path, "ops table")
 
     def test_engine_survives_corrupt_snapshot(self, tmp_path):
         path = self._write(tmp_path, "\x00\x01 not a snapshot")
@@ -443,12 +453,70 @@ class TestSnapshotCompaction:
         key = ((5).to_bytes(16, "big"), (5).to_bytes(16, "big"), (1, -1, -1))
         assert cache.get(key) == ("mm", 2)
 
+    def test_version2_snapshots_still_load(self, tmp_path):
+        # a pre-ops-table (version 2) snapshot: raw op strings inline
+        from repro.core.engine.align_cache import (SNAPSHOT_FORMAT,
+                                                   _entries_checksum)
+        path = str(tmp_path / "v2.json")
+        digest = (6).to_bytes(16, "big").hex()
+        entries = [[digest, digest, [1, -1, -1], "mml", 1, 4]]
+        json.dump({"format": SNAPSHOT_FORMAT, "version": 2, "generation": 4,
+                   "entries": entries,
+                   "checksum": _entries_checksum(entries)},
+                  open(path, "w"))
+        cache = AlignmentCache()
+        assert cache.load(path) == 1
+        key = ((6).to_bytes(16, "big"), (6).to_bytes(16, "big"), (1, -1, -1))
+        assert cache.get(key) == ("mml", 1)
+        # saving after a v2 load rewrites the file in the current format
+        assert cache.save(path)
+        assert json.load(open(path))["version"] == SNAPSHOT_VERSION
+
+
+# -- packed op strings (snapshot v3) ------------------------------------------
+
+class TestPackedOps:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet="mlr", max_size=60))
+    def test_pack_round_trips_and_never_grows(self, ops):
+        packed = pack_ops(ops)
+        assert unpack_ops(packed) == ops
+        assert len(packed) <= len(ops)
+
+    def test_pack_examples(self):
+        assert pack_ops("") == ""
+        assert pack_ops("mmmllr") == "3m2lr"
+        assert pack_ops("m" * 120) == "120m"
+        assert unpack_ops("12m2lr") == "m" * 12 + "llr"
+
+    @pytest.mark.parametrize("bad", ["3", "x", "0m", "3x", "m0l"])
+    def test_malformed_packed_ops_rejected(self, bad):
+        with pytest.raises(ValueError):
+            unpack_ops(bad)
+
+    def test_snapshot_stores_each_distinct_shape_once(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AlignmentCache()
+        for index in range(6):  # a clone family: six pairs, one shape
+            cache.put(_digest_key(index, index + 1), "mmmmlr", 4)
+        cache.put(_digest_key(9, 9), "lr", -2)
+        assert cache.save(path)
+        snapshot = json.load(open(path))
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        assert sorted(snapshot["ops"]) == ["4mlr", "lr"]  # packed, deduped
+        assert all(isinstance(row[3], int) for row in snapshot["entries"])
+        fresh = AlignmentCache()
+        assert fresh.load(path) == 7
+        assert fresh.get(_digest_key(0, 1)) == ("mmmmlr", 4)
+        assert fresh.get(_digest_key(9, 9)) == ("lr", -2)
+
 
 # -- decision parity: cache modes x kernels x jobs ----------------------------
 
 #: Alignment kernels exercised by the parity matrix (None = engine default).
 KERNELS = [None, "nw-banded"] + (
-    ["nw-numpy", "nw-banded-numpy"] if numpy_available() else [])
+    ["nw-numpy", "nw-banded-numpy"] if numpy_available() else []) + (
+    ["nw-native", "nw-banded-native"] if native_available() else [])
 
 
 class TestCacheModeParity:
@@ -515,6 +583,20 @@ class TestCrossKernelTransfer:
             alignment_cache_path=path).run(build_module())
         second = FunctionMergingPass(
             exploration_threshold=2, alignment_kernel="nw-numpy",
+            alignment_cache_path=path).run(build_module())
+        assert decisions(second) == decisions(first)
+        assert second.scheduler_stats["align_cache_cross_run_hits"] > 0
+        assert second.scheduler_stats["align_cache_misses"] == 0
+
+    @pytest.mark.skipif(not native_available(),
+                        reason="requires the native extension")
+    def test_native_run_hits_entries_from_sequential_run(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="needleman-wunsch",
+            alignment_cache_path=path).run(build_module())
+        second = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="nw-native",
             alignment_cache_path=path).run(build_module())
         assert decisions(second) == decisions(first)
         assert second.scheduler_stats["align_cache_cross_run_hits"] > 0

@@ -241,6 +241,121 @@ class TestProcessExecutorParity:
         assert report.scheduler_stats["offload_rounds"] > 0
 
 
+# -- task-group packing -------------------------------------------------------
+
+class TestTaskPacking:
+    """Tasks sharing one left sequence ship as one packed group; results
+    come back in the original task order regardless of grouping."""
+
+    def _lins(self, seed=3, count=5):
+        # content-distinct linearizations only: clones share canonical key
+        # bytes and would collapse into one packing family
+        module = build_module(seed, families=4)
+        stage = LinearizeStage()
+        lins, digests = [], set()
+        for function in module.defined_functions():
+            lin = stage.get(function)
+            if lin.canonical_digest() not in digests:
+                digests.add(lin.canonical_digest())
+                lins.append(lin)
+            if len(lins) == count:
+                break
+        assert len(lins) == count
+        return lins
+
+    def _task(self, lin1, lin2, scoring=(1, -1, -1)):
+        return AlignmentTask(keys1=tuple(lin1.canonical_key_bytes()),
+                             keys2=tuple(lin2.canonical_key_bytes()),
+                             scoring=scoring)
+
+    def test_packed_results_match_per_task_solve_in_order(self):
+        lins = self._lins()
+        # interleave two left sequences and two scorings so grouping must
+        # reorder internally but not externally
+        tasks = [self._task(lins[0], lins[1]),
+                 self._task(lins[1], lins[2]),
+                 self._task(lins[0], lins[2]),
+                 self._task(lins[0], lins[1], scoring=(2, -1, -2)),
+                 self._task(lins[1], lins[3]),
+                 self._task(lins[0], lins[4])]
+        want = [solve_alignment_task(task) for task in tasks]
+        executor = ProcessExecutor(2, kernel="pure")
+        try:
+            results, seconds = executor.run_tasks(tasks)
+        finally:
+            executor.close()
+        assert results == want
+        assert seconds >= 0.0
+        # three tasks share lins[0]+default scoring (the different-scoring
+        # one forms its own group) and two share lins[1]: a group of k
+        # pairs saves k-1 keys1 encodings
+        saved = (2 * sum(len(raw) for raw in lins[0].canonical_key_bytes())
+                 + sum(len(raw) for raw in lins[1].canonical_key_bytes()))
+        assert executor.offload_bytes_saved == saved
+
+    def test_group_solver_equivalent_to_task_list(self):
+        from repro.core.engine.offload import (AlignmentTaskGroup,
+                                               solve_alignment_group)
+        lins = self._lins()
+        tasks = [self._task(lins[0], lin2) for lin2 in lins[1:]]
+        group = AlignmentTaskGroup(
+            keys1=tasks[0].keys1,
+            keys2_list=tuple(task.keys2 for task in tasks),
+            scoring=tasks[0].scoring)
+        group = pickle.loads(pickle.dumps(group))  # across the boundary
+        assert solve_alignment_group(group) \
+            == [solve_alignment_task(task) for task in tasks]
+
+    def test_bytes_saved_stat_surfaces_in_scheduler_stats(self):
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="process",
+            jobs=2).run(build_module(5, families=5))
+        stats = report.scheduler_stats
+        # candidates of one entry share its left sequence, so clone-family
+        # modules always pack something
+        assert stats["offload_bytes_saved"] > 0
+
+    def test_serial_runs_report_zero_bytes_saved(self):
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="serial").run(build_module(3))
+        assert report.scheduler_stats["offload_bytes_saved"] == 0
+
+
+# -- hydrate-to-plan rank reuse -----------------------------------------------
+
+class TestRankReuse:
+    """The hydrate step's candidate rankings are handed to the finish-plan
+    step (same fingerprint-index generation), skipping the re-query."""
+
+    def test_offloaded_runs_reuse_rankings(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(5, families=5))
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="process",
+            jobs=2).run(build_module(5, families=5))
+        assert decisions(report) == decisions(reference)
+        assert report.scheduler_stats["rank_reuse_hits"] > 0
+        assert report.stage_stats["candidate-search"]["rank_reuse_hits"] \
+            == report.scheduler_stats["rank_reuse_hits"]
+
+    def test_serial_runs_never_reuse(self):
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="serial").run(build_module(3))
+        assert report.scheduler_stats["rank_reuse_hits"] == 0
+
+    def test_stale_rankings_are_not_reused_across_commits(self):
+        # a commit bumps the fingerprint-index generation, so rankings
+        # hydrated before it must be dropped, not reused: decisions stay
+        # bit-identical even with batches large enough to straddle commits
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(
+                build_module(7, families=6, clones=3))
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="process", jobs=2,
+            batch_size=64).run(build_module(7, families=6, clones=3))
+        assert decisions(report) == decisions(reference)
+
+
 # -- executor lifecycle on failure --------------------------------------------
 
 def _simple_task():
