@@ -1,0 +1,215 @@
+"""Incremental-session benchmark (``BENCH_incremental.json``).
+
+Models the edit-recompile loop :class:`repro.core.MergeSession` exists for:
+a module whose candidate traffic is dominated by near-miss pairs (similar
+fingerprints, unprofitable alignments - the realistic regime, where most
+ranked candidates are evaluated and rejected and only a few families
+actually merge), edited one function at a time.
+
+The benchmark measures a cold full ``engine.run()`` on the module, then
+drives a warm session through a cycle of single-edit updates (add /
+replace / remove), checking after every update that the session's decisions
+are bit-identical to a from-scratch rerun on the edited module.  It reports
+the median single-edit update latency against the cold wall clock - the
+``speedup`` the delta-driven replanner buys - plus the plan and
+linearization reuse rates that explain it.
+
+The perf tripwire asserts ``speedup >= 5``: a regression that makes
+updates replan the world again (dirty over-approximation, memo
+invalidation, cache loss across updates) trips it long before the latency
+is user-visible.
+
+Run directly (the CI incremental-session job does)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py -q
+
+Knobs: ``REPRO_BENCH_INCR_SCALE`` scales the population (default 4x
+``REPRO_BENCH_SCALE``'s 0.01), ``REPRO_BENCH_REPEATS`` the cold-run
+repetitions (default 3, best run wins), ``REPRO_BENCH_INCR_OUT`` the
+output path (default ``BENCH_incremental.json``).
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import (MergeEngine, MergeSession, ModuleEdit,  # noqa: E402
+                        apply_edit)
+from repro.ir import IRBuilder, Module  # noqa: E402
+from repro.ir import types as ty  # noqa: E402
+from repro.ir import values as vals  # noqa: E402
+from repro.ir.clone import clone_function_detached  # noqa: E402
+
+
+def _env_number(name: str, default, convert=float):
+    try:
+        return convert(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_SCALE = _env_number("REPRO_BENCH_SCALE", 0.01)
+INCR_SCALE = _env_number("REPRO_BENCH_INCR_SCALE", BENCH_SCALE * 4)
+REPEATS = _env_number("REPRO_BENCH_REPEATS", 3, int)
+INCR_OUT = os.environ.get("REPRO_BENCH_INCR_OUT", "BENCH_incremental.json")
+
+#: Single-edit updates driven through the warm session.
+UPDATES = 9
+
+_OPS = ("add", "sub", "mul", "xor", "and", "or", "shl", "ashr")
+
+
+def _chain(module, name, opcodes):
+    fn = module.create_function(name, ty.function_type(ty.I32, [ty.I32]))
+    builder = IRBuilder(fn.append_block("entry"))
+    value = fn.arguments[0]
+    for op in opcodes:
+        value = builder.binary(op, value, vals.const_int(3))
+    builder.ret(value)
+    return fn
+
+
+def build_population(scale: float = INCR_SCALE, name: str = "bench_incr"):
+    """Near-miss-dominated population: every pair shares an opcode multiset
+    (so the fingerprint ranking evaluates it) but most are permuted (so the
+    alignment rejects them); every eighth family is identical and merges."""
+    module = Module(name)
+    rng = random.Random(1234)
+    families = max(4, int(round(600 * scale)))
+    for index in range(families):
+        length = 40 + 8 * (index % 6)
+        ops = [_OPS[rng.randrange(len(_OPS))] for _ in range(length)]
+        _chain(module, f"near{index}_a", ops)
+        if index % 8 == 0:
+            _chain(module, f"near{index}_b", list(ops))
+        else:
+            permuted = list(ops)
+            rng.shuffle(permuted)
+            while permuted == ops:
+                rng.shuffle(permuted)
+            _chain(module, f"near{index}_b", permuted)
+    return module
+
+
+def _edit_payload(index: int, name: str):
+    """A detached single-edit function body (deterministic per index)."""
+    rng = random.Random(50_000 + index)
+    donor_mod = Module(f"edit_{index}")
+    ops = [_OPS[rng.randrange(len(_OPS))] for _ in range(50)]
+    return clone_function_detached(_chain(donor_mod, name, ops))
+
+
+def _edit_script():
+    """UPDATES single-edit updates cycling add -> replace -> remove."""
+    edits = []
+    for index in range(UPDATES):
+        phase = index % 3
+        name = f"edited_{index - phase}"
+        if phase == 0:
+            edits.append(ModuleEdit.add(_edit_payload(index, name)))
+        elif phase == 1:
+            edits.append(ModuleEdit.replace(_edit_payload(index, name)))
+        else:
+            edits.append(ModuleEdit.remove(name))
+    return edits
+
+
+def run_bench() -> dict:
+    module = build_population()
+    functions = len(module.functions)
+
+    cold_seconds = float("inf")
+    cold_report = None
+    for _ in range(max(1, REPEATS)):
+        fresh = build_population()
+        start = time.perf_counter()
+        report = MergeEngine(exploration_threshold=2).run(fresh)
+        cold_seconds = min(cold_seconds, time.perf_counter() - start)
+        cold_report = report
+
+    engine = MergeEngine(exploration_threshold=2)
+    start = time.perf_counter()
+    session = MergeSession(engine, module)
+    open_seconds = time.perf_counter() - start
+    assert session.report.decision_keys() == cold_report.decision_keys(), \
+        "session open diverged from the cold run"
+
+    updates = []
+    history = []
+    try:
+        for edit in _edit_script():
+            start = time.perf_counter()
+            delta = session.update([edit])
+            seconds = time.perf_counter() - start
+            history.append(edit)
+
+            reference = build_population()
+            for applied in history:
+                apply_edit(reference, applied)
+            cold = MergeEngine(exploration_threshold=2).run(reference)
+            assert session.report.decision_keys() == cold.decision_keys(), \
+                f"update {len(history)} diverged from the cold rerun"
+
+            updates.append({
+                "edit": edit.kind,
+                "seconds": seconds,
+                "functions_replanned": delta.functions_replanned,
+                "plans_reused": delta.plans_reused,
+                "plan_reuse_rate": delta.plan_reuse_rate,
+                "linearize_reuse_rate": delta.linearize_reuse_rate,
+                "candidates_evaluated": delta.candidates_evaluated,
+                "dirty_functions": delta.dirty_functions,
+                "merges_changed": delta.merges_changed,
+            })
+    finally:
+        session.close()
+
+    latencies = sorted(u["seconds"] for u in updates)
+    median = latencies[len(latencies) // 2]
+    return {
+        "scale": INCR_SCALE,
+        "functions": functions,
+        "merges": cold_report.merge_count,
+        "candidates_evaluated_cold": cold_report.candidates_evaluated,
+        "cold_seconds": cold_seconds,
+        "open_seconds": open_seconds,
+        "updates": updates,
+        "median_update_seconds": median,
+        "speedup": cold_seconds / median if median else float("inf"),
+        "mean_plan_reuse_rate": (sum(u["plan_reuse_rate"] for u in updates)
+                                 / len(updates)),
+    }
+
+
+def emit(payload: dict) -> None:
+    with open(INCR_OUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {INCR_OUT}: cold {payload['cold_seconds'] * 1000:.1f}ms, "
+          f"median update {payload['median_update_seconds'] * 1000:.1f}ms "
+          f"({payload['speedup']:.1f}x, "
+          f"{payload['mean_plan_reuse_rate']:.0%} plan reuse)")
+
+
+def test_incremental_bench():
+    """Pytest entry point: bit-identical decisions plus the perf tripwire."""
+    payload = run_bench()
+    emit(payload)
+    assert payload["merges"] >= 1
+    # a single-edit update must stay well under the cold wall clock; a
+    # regression that replans the world trips this long before users notice
+    assert payload["speedup"] >= 5.0, payload["speedup"]
+    assert payload["mean_plan_reuse_rate"] > 0.5
+
+
+if __name__ == "__main__":
+    test_incremental_bench()

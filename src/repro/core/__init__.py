@@ -28,7 +28,8 @@ from .codegen import (CodegenError, MergeCodeGenerator, MergeOptions,
                       MergeResult, merge_functions, merge_parameter_lists,
                       merge_return_types)
 from .engine import (AlignmentCache, IndexedCandidateSearcher, MergeEngine,
-                     Stage, StageStats, make_searcher)
+                     MergeSession, ModuleEdit, SessionUpdateReport, Stage,
+                     StageStats, apply_edit, make_searcher)
 from .equivalence import (EquivalenceKeyInterner, decode_canonical_keys,
                           encode_equivalence_key, entries_equivalent,
                           entry_equivalence_key, instructions_equivalent,
@@ -64,7 +65,8 @@ __all__ = [
     "ops_string", "solve_keyed_alignment", "decode_canonical_keys",
     "CodegenError", "MergeCodeGenerator", "MergeOptions", "MergeResult",
     "merge_functions", "merge_parameter_lists", "merge_return_types",
-    "IndexedCandidateSearcher", "MergeEngine", "Stage", "StageStats",
+    "IndexedCandidateSearcher", "MergeEngine", "MergeSession", "ModuleEdit",
+    "SessionUpdateReport", "Stage", "StageStats", "apply_edit",
     "make_searcher",
     "EquivalenceKeyInterner", "encode_equivalence_key", "entries_equivalent",
     "entry_equivalence_key",

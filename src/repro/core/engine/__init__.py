@@ -13,6 +13,10 @@ Public API:
   seam (:mod:`repro.core.engine.offload`).
 * :class:`MergePlan` / :class:`CommitEvents` — the immutable plan objects and
   the commit-side invalidation events the conflict rules are built from.
+* :class:`MergeSession` / :class:`ModuleEdit` / :func:`apply_edit` — the
+  incremental session: a long-lived engine over one module that accepts
+  edits and replans only the affected slice, bit-identical to a cold rerun
+  (:mod:`repro.core.engine.session`).
 * :class:`IndexedCandidateSearcher` / :func:`make_searcher` — exact indexed
   candidate search (inverted feature index + early-exit bounds).
 * :class:`ProfitBoundIndex` — sound per-pair profit upper bounds used to
@@ -31,11 +35,13 @@ from .offload import (AlignmentTask, AlignmentTaskGroup, ProcessExecutor,
                       solve_alignment_task)
 from .plan import CommitEvents, MergePlan, PendingAlignment, PlanDecision
 from .prune import ProfitBoundIndex
-from .report import STAGES, MergeRecord, MergeReport
+from .report import STAGES, MergeRecord, MergeReport, SessionUpdateReport
 from .scheduler import (ENGINE_EXECUTOR_ENV, EXECUTORS, AdaptiveBatchSizer,
                         MergeScheduler, PlanExecutor, PlanningError,
                         SerialExecutor, ThreadExecutor, make_executor)
 from .search import (SEARCHERS, IndexedCandidateSearcher, make_searcher)
+from .session import (DirtySet, MergeSession, ModuleEdit, PlanRecord,
+                      apply_edit)
 from .stages import (AlignmentStage, CandidateSearchStage, CodegenStage,
                      CommitStage, FingerprintStage, LinearizeStage,
                      PreprocessStage, ProfitabilityStage)
@@ -51,7 +57,8 @@ __all__ = [
     "MergePlan", "PlanDecision", "CommitEvents", "PendingAlignment",
     "ProfitBoundIndex",
     "Stage", "StageStats",
-    "STAGES", "MergeRecord", "MergeReport",
+    "STAGES", "MergeRecord", "MergeReport", "SessionUpdateReport",
+    "MergeSession", "ModuleEdit", "DirtySet", "PlanRecord", "apply_edit",
     "SEARCHERS", "IndexedCandidateSearcher", "make_searcher",
     "AlignmentStage", "CandidateSearchStage", "CodegenStage", "CommitStage",
     "FingerprintStage", "LinearizeStage", "PreprocessStage",

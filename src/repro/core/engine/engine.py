@@ -583,17 +583,45 @@ class MergeEngine:
             touched_callees=tuple(applied.touched_callees))
 
     # -- main driver --------------------------------------------------------------
-    def make_scheduler(self,
-                       executor: Optional[PlanExecutor] = None) -> MergeScheduler:
+    def attach_run_state(self, module: Module, call_graph: CallGraph,
+                         available: set, worklist: deque,
+                         report: MergeReport) -> None:
+        """Install the per-run state the plan/commit callbacks consume.
+
+        ``run()`` composes this with its own cold cache setup; a
+        :class:`~repro.core.engine.session.MergeSession` installs
+        incrementally-maintained state here and drives the scheduler itself,
+        keeping the warm caches ``run()`` would clear.
+        """
+        self._module = module
+        self._call_graph = call_graph
+        self._available = available
+        self._worklist = worklist
+        self._report = report
+
+    def detach_run_state(self) -> None:
+        """Drop the per-run state (and the batch-scoped ranking cache)."""
+        self._module = None
+        self._call_graph = None
+        self._report = None
+        self._rank_cache.clear()
+
+    def make_scheduler(self, executor: Optional[PlanExecutor] = None,
+                       plan: Optional[Callable[[str], Optional[MergePlan]]] = None,
+                       absorb: Optional[Callable[[MergePlan], None]] = None
+                       ) -> MergeScheduler:
         """Build the plan/commit scheduler for one run (call after run()'s
         state setup; exposed so tests can hook ``on_commit`` or supply a
-        pre-built executor)."""
+        pre-built executor).  ``plan`` / ``absorb`` override the engine's
+        own callbacks (sessions interpose plan memoization there)."""
         if executor is None:
             executor = make_executor(self.executor_kind, self.jobs)
         uses_cache = self.alignment.uses_cache
         return MergeScheduler(
-            plan=self.plan_entry, commit=self.commit_plan,
-            query_key=self._query_key, absorb=self._absorb_plan,
+            plan=plan if plan is not None else self.plan_entry,
+            commit=self.commit_plan,
+            query_key=self._query_key,
+            absorb=absorb if absorb is not None else self._absorb_plan,
             executor=executor,
             batch_size=self.batch_size,
             adaptive=self.adaptive_batch,
@@ -644,11 +672,7 @@ class MergeEngine:
         worklist = deque(sorted(available))
         report.functions_considered = len(available)
 
-        self._module = module
-        self._call_graph = call_graph
-        self._available = available
-        self._worklist = worklist
-        self._report = report
+        self.attach_run_state(module, call_graph, available, worklist, report)
 
         owns_scheduler = scheduler is None
         if scheduler is None:
@@ -658,10 +682,7 @@ class MergeEngine:
         finally:
             if owns_scheduler:
                 scheduler.close()
-            self._module = None
-            self._call_graph = None
-            self._report = None
-            self._rank_cache.clear()
+            self.detach_run_state()
 
         report.stale_entries = scheduler.stats["stale_entries"]
         report.scheduler_stats = dict(scheduler.stats)

@@ -310,3 +310,4 @@ class ProcessExecutor(PlanExecutor):
 
     def close(self) -> None:
         self._pool.shutdown()
+        self.closed = True

@@ -81,6 +81,19 @@ class MergeReport:
     def total_time(self) -> float:
         return sum(self.stage_times.values())
 
+    def record_key(self, record: MergeRecord) -> tuple:
+        """Comparable identity of one committed merge (used by session
+        divergence detection and by bit-identity tests)."""
+        return (record.function1, record.function2, record.merged_name,
+                record.rank_position, record.delta, record.size_before,
+                record.size_after, tuple(record.dispositions),
+                tuple(record.original_sizes), record.merged_size,
+                record.extra_dynamic_ops)
+
+    def decision_keys(self) -> List[tuple]:
+        """All committed merges in commit order, in comparable form."""
+        return [self.record_key(record) for record in self.merges]
+
     def summary(self) -> str:
         lines = [f"function-merging report: {self.merge_count} merge(s), "
                  f"{self.candidates_evaluated} candidate(s) evaluated"]
@@ -97,3 +110,64 @@ class MergeReport:
                 f"batches={s.get('batches', 0)} conflicts={s.get('conflicts', 0)} "
                 f"replans={s.get('replans', 0)} stale={s.get('stale_entries', 0)}")
         return "\n".join(lines)
+
+
+@dataclass
+class SessionUpdateReport:
+    """What one :meth:`MergeSession.update` did, as a *delta* against the
+    session's previous state — the metering view a sustained-traffic caller
+    wants, instead of a full-module report per edit.
+
+    ``merges_added`` are merges committed this update that the previous
+    state did not have; ``merges_retired`` are previous merges (comparable
+    :meth:`MergeReport.record_key` form) no longer justified after the
+    edits; ``merges_kept`` counts decisions carried over unchanged.  The
+    session's full-module :class:`MergeReport` for the *current* state stays
+    available as :attr:`MergeSession.report`.
+    """
+
+    edits: int = 0
+    #: Worklist entries planned fresh this update vs satisfied from the
+    #: previous update's memoized plans.
+    functions_replanned: int = 0
+    plans_reused: int = 0
+    merges_added: List[MergeRecord] = field(default_factory=list)
+    merges_retired: List[tuple] = field(default_factory=list)
+    merges_kept: int = 0
+    #: Candidate pairs actually evaluated by fresh planning this update
+    #: (memoized plans contribute nothing here).
+    candidates_evaluated: int = 0
+    #: Linearize-stage cache traffic during this update: hits are functions
+    #: whose linearizations survived from previous updates untouched.
+    linearize_hits: int = 0
+    linearize_misses: int = 0
+    #: Names whose fingerprints/plans the edits (and their ripples through
+    #: the call graph and previous decisions) invalidated.
+    dirty_functions: int = 0
+    update_seconds: float = 0.0
+    scheduler_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def merges_changed(self) -> int:
+        return len(self.merges_added) + len(self.merges_retired)
+
+    @property
+    def plan_reuse_rate(self) -> float:
+        total = self.functions_replanned + self.plans_reused
+        return self.plans_reused / total if total else 0.0
+
+    @property
+    def linearize_reuse_rate(self) -> float:
+        total = self.linearize_hits + self.linearize_misses
+        return self.linearize_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (f"session update: {self.edits} edit(s), "
+                f"{len(self.merges_added)} merge(s) added, "
+                f"{len(self.merges_retired)} retired, "
+                f"{self.merges_kept} kept; "
+                f"{self.functions_replanned} replanned / "
+                f"{self.plans_reused} reused "
+                f"({self.plan_reuse_rate:.0%} plan reuse, "
+                f"{self.linearize_reuse_rate:.0%} linearization reuse) "
+                f"in {self.update_seconds * 1000:.1f}ms")

@@ -90,13 +90,17 @@ class PlanExecutor:
 
     jobs = 1
     offloads_alignment = False
+    #: Set by ``close()``.  Long-lived owners (``MergeSession``) probe this
+    #: to detect that a failed ``scheduler.run`` tore the pool down and a
+    #: fresh executor must be built before the next update.
+    closed = False
 
     def map(self, fn: Callable[[str], Optional[MergePlan]],
             names: List[str]) -> List[Optional[MergePlan]]:
         raise NotImplementedError
 
     def close(self) -> None:
-        pass
+        self.closed = True
 
 
 class SerialExecutor(PlanExecutor):
@@ -119,6 +123,7 @@ class ThreadExecutor(PlanExecutor):
 
     def close(self) -> None:
         self._pool.shutdown()
+        self.closed = True
 
 
 def _make_process_executor(jobs: int) -> PlanExecutor:

@@ -108,17 +108,24 @@ class IndexedCandidateSearcher:
         for function in functions:
             self.add_function(function)
 
-    def add_fingerprint(self, fp: Fingerprint) -> None:
+    def add_fingerprint(self, fp: Fingerprint,
+                        order: Optional[int] = None) -> None:
+        """Index ``fp``.  ``order`` restores an explicit iteration position
+        (used by engine sessions to put a previously-consumed function back at
+        its original spot); without it a fresh position is assigned.  When the
+        name is already indexed the existing position always wins (dict
+        semantics of the linear ranker: overwriting keeps the original
+        iteration position)."""
         name = fp.function_name
         existing = self._entries.get(name)
         if existing is not None:
-            # dict semantics of the linear ranker: overwriting keeps the
-            # original iteration position
             order = existing.order
             self._unindex(existing)
-        else:
+        elif order is None:
             order = self._next_order
             self._next_order += 1
+        else:
+            self._next_order = max(self._next_order, order + 1)
         entry = _IndexedFingerprint(
             name, order,
             self._vector(fp.opcode_freq, self._op_feature_ids),
@@ -159,6 +166,38 @@ class IndexedCandidateSearcher:
         self._op_postings.clear()
         self._ty_postings.clear()
         self._next_order = 0
+
+    def order_of(self, name: str) -> Optional[int]:
+        """Iteration position of an indexed fingerprint (session bookkeeping:
+        recorded before consumption so a restore can hand it back to
+        :meth:`add_fingerprint`)."""
+        entry = self._entries.get(name)
+        return None if entry is None else entry.order
+
+    def features_of(self, fp: Fingerprint) -> Tuple[frozenset, frozenset]:
+        """Interned ``(opcode feature ids, type feature ids)`` of ``fp``.
+
+        Unseen features are interned on the fly (consistent with a later
+        ``add_fingerprint`` of the same fingerprint); interning extra ids
+        never changes scores or candidate order, only internal numbering.
+        """
+        op_vec = self._vector(fp.opcode_freq, self._op_feature_ids)
+        ty_vec = self._vector(fp.type_freq, self._ty_feature_ids)
+        return (frozenset(fid for fid, _ in op_vec),
+                frozenset(fid for fid, _ in ty_vec))
+
+    def entry_overlaps(self, name: str, op_ids: frozenset,
+                       ty_ids: frozenset) -> bool:
+        """True when the indexed entry for ``name`` shares at least one opcode
+        feature *and* one type feature with the given feature-id sets — the
+        precondition for any fingerprint carrying those features to enter or
+        leave the entry's candidate set.  Unknown names report ``True``
+        (conservative)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return True
+        return (not op_ids.isdisjoint(entry.op_ids)
+                and not ty_ids.isdisjoint(entry.ty_ids))
 
     def known_functions(self) -> List[str]:
         return sorted(self._entries)

@@ -170,6 +170,33 @@ class FingerprintStage(Stage):
 
         self.timed(_do)
 
+    def restore_function(self, function: Function, fp: Fingerprint,
+                         order: Optional[int] = None) -> None:
+        """Re-index a previously-consumed source function (session rollback).
+
+        ``fp`` is the pristine source fingerprint and ``order`` the searcher
+        iteration position the function held before it was consumed, so a
+        subsequent candidate query ranks it exactly as a cold run would.
+        Bumps the generation like any other index mutation.
+        """
+        self.stats.bump("functions")
+
+        def _do() -> None:
+            self.generation += 1
+            self._live[fp.function_name] = fp
+            add = getattr(self.searcher, "add_fingerprint", None)
+            if add is not None:
+                try:
+                    add(fp, order=order)
+                except TypeError:  # searcher without explicit-order support
+                    add(fp)
+            else:
+                self.searcher.add_function(function)
+            if self.profit_bounds is not None:
+                self.profit_bounds.add_function(function)
+
+        self.timed(_do)
+
     def live_fingerprint(self, function: Function) -> Fingerprint:
         """Fingerprint of the function's *current* body (cached; recomputed
         after :meth:`invalidate_live`)."""
@@ -244,25 +271,45 @@ class LinearizeStage(Stage):
         super().__init__()
         self.traversal = traversal
         self.interner = EquivalenceKeyInterner()
-        self._cache: Dict[str, LinearizedFunction] = {}
+        # name -> (body token, linearization).  The token identifies the body
+        # the entry was computed from (the entry block's object id: cached
+        # linearizations keep their instructions - and through instruction
+        # parents the blocks - alive, so the id cannot be recycled while the
+        # entry lives).  A session transplanting a rolled-back body into the
+        # same Function object therefore can never resurrect a stale
+        # linearization even if an invalidate call is missed.
+        self._cache: Dict[str, tuple] = {}
         # planners may linearize concurrently; the interner's id assignment
         # must stay race-free (keys only matter by equality, but a torn
         # insert could hand two ids to one equivalence class)
         self._lock = threading.Lock()
+
+    @staticmethod
+    def _body_token(function: Function) -> Optional[int]:
+        return id(function.blocks[0]) if function.blocks else None
 
     def get(self, function: Function) -> LinearizedFunction:
         return self.timed(self._get, function)
 
     def _get(self, function: Function) -> LinearizedFunction:
         with self._lock:
-            cached = self._cache.get(function.name)
-            if cached is None:
+            token = self._body_token(function)
+            slot = self._cache.get(function.name)
+            if slot is not None and slot[0] != token:
+                self.stats.bump("stale_evicted")
+                slot = None
+            if slot is None:
                 cached = linearize_with_keys(function, self.traversal, self.interner)
-                self._cache[function.name] = cached
+                self._cache[function.name] = (token, cached)
                 self.stats.bump("linearized")
             else:
+                cached = slot[1]
                 self.stats.bump("cache_hits")
             return cached
+
+    def cached_names(self):
+        """Names with a live cached linearization (session reuse metering)."""
+        return list(self._cache)
 
     def invalidate(self, name: str) -> None:
         self._cache.pop(name, None)

@@ -5,7 +5,7 @@ from .experiments import (EvaluationSettings, ExperimentReport, SuiteEvaluation,
                           figure13, figure14, reduction_bar_chart,
                           run_all_experiments, table1, table2)
 from .pipeline import (CompilationResult, compile_module, estimate_runtime_overhead,
-                       technique_label)
+                       open_compile_session, technique_label)
 from .reporting import (arithmetic_mean, ascii_table, bar_chart, cdf_table,
                         format_percent, format_ratio, geometric_mean, text_bar,
                         to_csv, write_csv)
@@ -15,7 +15,7 @@ __all__ = [
     "figure8", "figure10", "figure11", "figure12", "figure13", "figure14",
     "table1", "table2", "reduction_bar_chart", "run_all_experiments",
     "CompilationResult", "compile_module", "estimate_runtime_overhead",
-    "technique_label",
+    "open_compile_session", "technique_label",
     "ascii_table", "bar_chart", "cdf_table", "format_percent", "format_ratio",
     "geometric_mean", "arithmetic_mean", "text_bar", "to_csv", "write_csv",
 ]

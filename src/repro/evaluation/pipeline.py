@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 from ..baselines.identical import IdenticalFunctionMergingPass
 from ..baselines.soa import StructuralFunctionMergingPass
 from ..core.codegen import MergeOptions
+from ..core.engine import MergeSession
 from ..core.pass_ import FunctionMergingPass, MergeReport, make_hotness_filter
 from ..ir.function import Function
 from ..ir.module import Module
@@ -156,6 +157,50 @@ def estimate_runtime_overhead(report: Optional[MergeReport],
                 continue
             extra += profile.call_count * record.extra_dynamic_ops
     return 1.0 + extra / total_dynamic
+
+
+def open_compile_session(module: Module, *,
+                         target: str = "x86-64",
+                         threshold: int = 1,
+                         oracle: bool = False,
+                         exclude_hot: bool = False,
+                         hot_threshold: float = 0.01,
+                         merge_options: Optional[MergeOptions] = None,
+                         keyed_alignment: bool = True,
+                         alignment_kernel: Optional[str] = None,
+                         alignment_cache_path: Optional[str] = None,
+                         jobs: Optional[int] = None,
+                         executor: str = "auto") -> MergeSession:
+    """Open a long-lived incremental merge session over ``module``.
+
+    Runs the same *pre* passes ``compile_module`` applies (DCE + CFG
+    simplification), then opens a :class:`repro.core.MergeSession` with the
+    FMSA engine configuration the given knobs select.  The returned session
+    holds the merged module; feed it :class:`repro.core.ModuleEdit` scripts
+    via :meth:`MergeSession.update` and each update re-merges by replanning
+    only the edit-affected slice, bit-identical to recompiling the edited
+    module from scratch - the edit-recompile seam for daemon/IDE-style
+    drivers on top of the evaluation pipeline.
+
+    Unlike ``compile_module(technique="fmsa")`` this does not run the
+    Identical-merging pre-pass (its rewrites are not replayable through the
+    session's edit model) and applies no *post* cleanup; compare against
+    cold ``MergeEngine`` runs, not full ``compile_module`` results.  Close
+    the session (or use it as a context manager) to release its executor.
+    """
+    cost_model = get_target(target)
+    DeadCodeElimination().run(module)
+    SimplifyCFG().run(module)
+    hot_filter = make_hotness_filter(hot_threshold) if exclude_hot else None
+    fmsa = FunctionMergingPass(
+        target=cost_model, exploration_threshold=threshold, oracle=oracle,
+        options=merge_options or MergeOptions(),
+        hot_function_filter=hot_filter,
+        searcher="indexed", keyed_alignment=keyed_alignment,
+        alignment_kernel=alignment_kernel,
+        alignment_cache_path=alignment_cache_path, jobs=jobs,
+        executor=executor)
+    return MergeSession(fmsa.engine, module)
 
 
 def compile_module(module: Module, technique: str, *,

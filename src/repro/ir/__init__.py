@@ -10,6 +10,7 @@ from . import values
 from .basicblock import BasicBlock
 from .builder import IRBuilder
 from .callgraph import CallGraph
+from .clone import clone_function_detached, transplant_body
 from .function import Function
 from .instructions import (ALL_OPCODES, BINARY_OPS, CAST_OPS, COMMUTATIVE_OPS,
                            TERMINATOR_OPS, Instruction)
@@ -19,6 +20,7 @@ from .verifier import VerificationError, verify_function, verify_module, verify_
 
 __all__ = [
     "types", "values", "BasicBlock", "IRBuilder", "CallGraph", "Function",
+    "clone_function_detached", "transplant_body",
     "Instruction", "Module", "function_to_str", "module_to_str",
     "VerificationError", "verify_function", "verify_module", "verify_or_raise",
     "ALL_OPCODES", "BINARY_OPS", "CAST_OPS", "COMMUTATIVE_OPS", "TERMINATOR_OPS",

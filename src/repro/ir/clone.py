@@ -1,0 +1,105 @@
+"""Deep-cloning and body-transplant utilities.
+
+These helpers back the incremental engine session (``engine/session.py``),
+which keeps a pristine *shadow copy* of every source function so that merges
+can be rolled back by transplanting the original body back into the (still
+referenced) working :class:`~repro.ir.function.Function` object.  They are
+module-agnostic: ``Function`` operands (direct callees / address-taken
+references) are remapped through a caller-supplied resolver so a body can be
+copied between two modules whose functions are distinct objects with the same
+names.
+
+Both helpers preserve structural identity exactly: block order and names,
+instruction order, names, attrs and operand structure, argument names and the
+``_next_temp_id`` counter — so a printer round-trip, fingerprint, or canonical
+linearization of the copy is indistinguishable from the source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import Instruction
+from .values import Value
+
+#: Maps a source-side ``Function`` operand to the value that should replace it
+#: in the destination body (usually the same-named function of the destination
+#: module).  Returning ``None`` keeps the original reference.
+FunctionResolver = Callable[[Function], Optional[Value]]
+
+
+def transplant_body(source: Function, target: Function,
+                    resolve_function: Optional[FunctionResolver] = None) -> None:
+    """Replace ``target``'s body with a deep copy of ``source``'s body.
+
+    ``target`` keeps its object identity (existing call sites that reference
+    it as an operand remain valid); only blocks, instructions and the temp-id
+    counter are replaced.  Signatures must match exactly — callers that need
+    to change a signature must remove and re-add the function instead.
+    """
+    if source.function_type != target.function_type:
+        raise ValueError(
+            f"cannot transplant body of {source.name!r} into {target.name!r}: "
+            f"signature mismatch ({source.function_type} vs {target.function_type})")
+    target.drop_body()
+
+    value_map: Dict[int, Value] = {}
+    for src_arg, dst_arg in zip(source.arguments, target.arguments):
+        value_map[id(src_arg)] = dst_arg
+
+    # Create all blocks first so branch targets can be remapped, bypassing
+    # append_block's name generation (it would bump the temp counter).
+    for block in source.blocks:
+        new_block = BasicBlock(block.name, target)
+        target.blocks.append(new_block)
+        value_map[id(block)] = new_block
+    for block in source.blocks:
+        new_block = value_map[id(block)]
+        assert isinstance(new_block, BasicBlock)
+        for inst in block.instructions:
+            copy = inst.clone()
+            new_block.append(copy)
+            value_map[id(inst)] = copy
+    # Remap operands: intra-function values through the value map, Function
+    # references through the resolver, everything else (constants, globals)
+    # shared by reference.
+    for block in source.blocks:
+        for inst in block.instructions:
+            copy = value_map[id(inst)]
+            assert isinstance(copy, Instruction)
+            for index, operand in enumerate(inst.operands):
+                mapped = value_map.get(id(operand))
+                if mapped is None and isinstance(operand, Function) \
+                        and resolve_function is not None:
+                    mapped = resolve_function(operand)
+                if mapped is not None and mapped is not operand:
+                    copy.set_operand(index, mapped)
+
+    target._next_temp_id = source._next_temp_id
+
+
+def clone_function_detached(original: Function,
+                            resolve_function: Optional[FunctionResolver] = None,
+                            name: Optional[str] = None) -> Function:
+    """Deep-copy ``original`` into a fresh, module-less ``Function``.
+
+    The clone mirrors name (unless overridden), signature, linkage, argument
+    names, body, ``address_taken`` flag and bookkeeping counters.  ``profile``
+    and ``merged_from`` are shared by reference (both are treated as
+    immutable annotations by the engine).
+    """
+    clone = Function(name if name is not None else original.name,
+                     original.function_type,
+                     module=None,
+                     linkage=original.linkage,
+                     arg_names=[arg.name for arg in original.arguments])
+    clone.address_taken = original.address_taken
+    clone.profile = original.profile
+    clone.merged_from = original.merged_from
+    if original.blocks:
+        transplant_body(original, clone, resolve_function)
+    else:
+        clone._next_temp_id = original._next_temp_id
+    return clone

@@ -112,7 +112,8 @@ class TestSchedulerParity:
 #: Every selectable alignment kernel (None = the engine default); the NumPy
 #: backends join in when the ``fast`` extra is installed.
 KERNELS = [None, "nw-banded"] + (
-    ["nw-numpy", "nw-banded-numpy"] if numpy_available() else [])
+    ["nw-numpy", "nw-banded-numpy", "nw-wavefront-numpy"]
+    if numpy_available() else [])
 
 
 class TestKernelParity:

@@ -178,3 +178,36 @@ class TestMiBenchEvaluation:
         assert "rijndael" in report.render()
         table = table2(mibench_evaluation)
         assert any(row[0] == "rijndael" for row in table.rows)
+
+
+class TestOpenCompileSession:
+    """The edit-recompile seam: pipeline pre-passes + a warm MergeSession."""
+
+    def test_session_updates_match_cold_engine_runs(self):
+        from repro.core import MergeEngine, ModuleEdit, apply_edit
+        from repro.evaluation import open_compile_session
+        from repro.ir.clone import clone_function_detached
+        from repro.passes.dce import DeadCodeElimination
+        from repro.passes.simplify_cfg import SimplifyCFG
+
+        def prepped_module():
+            generated = build_spec_benchmark("462.libquantum", scale=0.1,
+                                             cap=12)
+            DeadCodeElimination().run(generated.module)
+            SimplifyCFG().run(generated.module)
+            return generated.module
+
+        donor = build_spec_benchmark("433.milc", scale=0.05,
+                                     cap=8).module.functions[0]
+        edit = ModuleEdit.add(clone_function_detached(donor,
+                                                      name="edited_fn"))
+        module = build_spec_benchmark("462.libquantum", scale=0.1, cap=12).module
+        with open_compile_session(module, threshold=1) as session:
+            assert session.report.merge_count >= 1
+            delta = session.update([edit])
+            assert delta.edits == 1
+            cold_module = prepped_module()
+            apply_edit(cold_module, edit)
+            cold = MergeEngine(exploration_threshold=1).run(cold_module)
+            assert session.report.decision_keys() == cold.decision_keys()
+            verify_or_raise(session.module)
