@@ -18,6 +18,12 @@ setup(
     # the core stays dependency-free; the "fast" extra enables the
     # vectorized NumPy alignment backend (nw-numpy / nw-banded-numpy)
     extras_require={"fast": ["numpy"]},
+    entry_points={
+        "console_scripts": [
+            "repro-served = repro.service.cli:serve_main",
+            "repro-client = repro.service.cli:client_main",
+        ],
+    },
     # the native DP kernels (nw-native / nw-banded-native).  optional=True:
     # a missing compiler skips the extension instead of failing the
     # install - repro.core.native then degrades to the NumPy or pure tier

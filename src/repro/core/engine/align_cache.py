@@ -73,6 +73,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -284,7 +285,10 @@ class AlignmentCache:
     """Bounded, thread-safe LRU of alignment shapes keyed by content."""
 
     def __init__(self, capacity: int = 4096,
-                 max_generations: Optional[int] = None):
+                 max_generations: Optional[int] = None, *,
+                 autosave_path: Optional[str] = None,
+                 save_every_n_puts: int = 64,
+                 autosave_interval: Optional[float] = None):
         if capacity < 1:
             raise ValueError("alignment cache capacity must be >= 1")
         self.capacity = capacity
@@ -292,6 +296,16 @@ class AlignmentCache:
         self._data: "OrderedDict[tuple, Tuple[str, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self._bytes = 0
+        # -- debounced autosave (see enable_autosave) --
+        self._autosave_path: Optional[str] = None
+        self._autosave_every: Optional[int] = None
+        self._autosave_interval: Optional[float] = None
+        self._autosave_pending = 0
+        self._autosave_last = 0.0
+        #: serializes the actual disk write so put() triggers never stack
+        #: concurrent save() calls behind the advisory file lock
+        self._autosave_guard = threading.Lock()
+        self.autosaves = 0
         #: Keys whose entries came from a snapshot (not computed this run);
         #: hits against them are counted as ``cross_run_hits`` too.
         self._persisted: set = set()
@@ -304,6 +318,10 @@ class AlignmentCache:
         self.misses = 0
         self.evictions = 0
         self.cross_run_hits = 0
+        if autosave_path is not None:
+            self.enable_autosave(autosave_path,
+                                 every_puts=save_every_n_puts,
+                                 interval_seconds=autosave_interval)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -331,8 +349,17 @@ class AlignmentCache:
             return key in self._data
 
     def put(self, key: tuple, ops: str, score: int) -> None:
+        due = False
         with self._lock:
             self._put_locked(key, ops, score)
+            if self._autosave_path is not None:
+                self._autosave_pending += 1
+                due = (self._autosave_every is not None
+                       and self._autosave_pending >= self._autosave_every)
+        if due:
+            # outside self._lock: the snapshot write must not stall
+            # concurrent planners' get()/put() calls
+            self.autosave_flush()
 
     def _put_locked(self, key: tuple, ops: str, score: int) -> None:
         existing = self._data.pop(key, None)
@@ -357,6 +384,7 @@ class AlignmentCache:
             self._gens.clear()
             self._generation = 0
             self._bytes = 0
+            self._autosave_pending = 0  # the entries it counted are gone
             self.hits = 0
             self.misses = 0
             self.evictions = 0
@@ -374,7 +402,80 @@ class AlignmentCache:
                 prefix + "persisted_entries": len(self._persisted),
                 prefix + "bytes": self._bytes,
                 prefix + "generation": self._generation,
+                prefix + "autosaves": self.autosaves,
             }
+
+    # -- debounced autosave --------------------------------------------------
+    def enable_autosave(self, path: str, *,
+                        every_puts: Optional[int] = 64,
+                        interval_seconds: Optional[float] = None) -> None:
+        """Bound how much a crash can lose: persist to ``path`` after every
+        ``every_puts`` new entries and/or (via :meth:`autosave_flush` calls
+        from a host's ticker) every ``interval_seconds``.
+
+        Autosaves reuse :meth:`save` - read-merge-write under the advisory
+        file lock - so they compose with other processes sharing the
+        snapshot.  The disk write happens outside the entry lock and is
+        serialized by a dedicated guard; a put() that finds a save already
+        in flight simply leaves its pending count for the next trigger.
+        Pass ``every_puts=None`` for purely time/flush-driven saves.
+        """
+        with self._lock:
+            self._autosave_path = path
+            self._autosave_every = (max(1, int(every_puts))
+                                    if every_puts is not None else None)
+            self._autosave_interval = (float(interval_seconds)
+                                       if interval_seconds is not None
+                                       else None)
+            self._autosave_pending = 0
+            self._autosave_last = time.monotonic()
+
+    def disable_autosave(self) -> None:
+        """Stop autosaving (pending entries stay resident; callers wanting
+        them persisted should :meth:`autosave_flush` with ``force=True``
+        first, as the daemon's shutdown path does)."""
+        with self._lock:
+            self._autosave_path = None
+            self._autosave_pending = 0
+
+    def autosave_flush(self, force: bool = False) -> bool:
+        """Persist pending autosave entries if a trigger is due.
+
+        Returns True when a snapshot was written.  With ``force=False`` the
+        flush happens only when the put-count or time threshold is met (the
+        daemon's background ticker calls this); ``force=True`` flushes any
+        pending entries unconditionally (the shutdown path).
+        """
+        with self._lock:
+            path = self._autosave_path
+            pending = self._autosave_pending
+            if path is None or pending == 0:
+                return False
+            now = time.monotonic()
+            due = (force
+                   or (self._autosave_every is not None
+                       and pending >= self._autosave_every)
+                   or (self._autosave_interval is not None
+                       and now - self._autosave_last
+                       >= self._autosave_interval))
+            if not due:
+                return False
+            self._autosave_pending = 0
+            self._autosave_last = now
+        if not self._autosave_guard.acquire(blocking=False):
+            # a save is already in flight; hand the count back so the next
+            # trigger retries (the entries themselves are still resident)
+            with self._lock:
+                self._autosave_pending += pending
+            return False
+        try:
+            saved = self.save(path)
+        finally:
+            self._autosave_guard.release()
+        if saved:
+            with self._lock:
+                self.autosaves += 1
+        return saved
 
     def hit_rate(self) -> float:
         with self._lock:

@@ -80,11 +80,12 @@ class MergeEngine:
                  searcher: Union[str, object] = "indexed",
                  keyed_alignment: bool = True,
                  alignment_kernel: Optional[str] = None,
-                 alignment_cache: Union[bool, int] = True,
+                 alignment_cache: Union[bool, int, AlignmentCache] = True,
                  alignment_cache_path: Optional[str] = None,
                  alignment_cache_max_generations: Optional[int] = None,
+                 alignment_cache_resident: bool = False,
                  jobs: Optional[int] = None,
-                 executor: str = "auto",
+                 executor: Union[str, PlanExecutor] = "auto",
                  batch_size: Optional[int] = None,
                  adaptive_batch: Optional[bool] = None,
                  incremental_callgraph: bool = True,
@@ -124,8 +125,10 @@ class MergeEngine:
                 bit-identical merge decisions.
             alignment_cache: memoise keyed alignments by linearization
                 content (default).  Pass an int to bound the LRU at that
-                many entries, ``False`` to disable.  Hit/miss/bytes counters
-                land in ``MergeReport.scheduler_stats``.
+                many entries, ``False`` to disable, or a pre-built
+                :class:`AlignmentCache` instance to share one cache across
+                engines (the merge daemon's resident cache).  Hit/miss/bytes
+                counters land in ``MergeReport.scheduler_stats``.
             alignment_cache_path: snapshot file for cross-run cache
                 persistence.  When set (or via the ``REPRO_ALIGN_CACHE``
                 environment variable), every :meth:`run` warm-starts the
@@ -146,13 +149,25 @@ class MergeEngine:
                 32); ``0`` or a negative value disables aging.  Only
                 affects what a long-lived shared snapshot retains, never
                 what a run computes.
+            alignment_cache_resident: the cache belongs to a long-lived
+                owner (the merge daemon): :meth:`run` neither clears it nor
+                does the per-run snapshot load/save round-trip - the owner
+                loads once at boot and saves on its own schedule (debounced
+                autosave + final save at shutdown).  Content addressing
+                keeps warm entries bit-identical to recomputation, so
+                decisions are unchanged; only the cold-start work
+                disappears.  Stats counters accumulate across runs.
             jobs: how many worklist entries to plan concurrently (default:
                 ``REPRO_ENGINE_JOBS`` or 1).  Merge decisions are identical
                 for every value.
             executor: plan executor kind - ``"auto"`` (the
                 ``REPRO_ENGINE_EXECUTOR`` environment variable if set, else
                 serial for jobs<=1 and the thread pool otherwise),
-                ``"serial"``, ``"thread"`` or ``"process"``.  The process
+                ``"serial"``, ``"thread"``, ``"process"``, or a pre-built
+                :class:`PlanExecutor` instance (build it with
+                ``keep_alive=True`` and back-to-back runs reuse the same
+                live worker pool; the caller then owns the explicit
+                ``close()``).  The process
                 executor keeps planning in this process but offloads the
                 alignment DPs to a worker pool as pure data (canonical key
                 bytes), which is the only executor that buys wall-clock
@@ -194,7 +209,7 @@ class MergeEngine:
         self.hot_function_filter = hot_function_filter
         self.minimum_function_size = minimum_function_size
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
-        if executor == "auto":
+        if executor == "auto" and not isinstance(executor, PlanExecutor):
             env_kind = os.environ.get(ENGINE_EXECUTOR_ENV, "").strip()
             if env_kind:
                 executor = env_kind
@@ -219,8 +234,10 @@ class MergeEngine:
         self.profit_bounds = (ProfitBoundIndex(self.target)
                               if oracle and oracle_prune else None)
 
-        if alignment_cache is True:
-            self.align_cache: Optional[AlignmentCache] = AlignmentCache(
+        if isinstance(alignment_cache, AlignmentCache):
+            self.align_cache: Optional[AlignmentCache] = alignment_cache
+        elif alignment_cache is True:
+            self.align_cache = AlignmentCache(
                 max_generations=alignment_cache_max_generations)
         elif alignment_cache:
             self.align_cache = AlignmentCache(
@@ -228,6 +245,7 @@ class MergeEngine:
                 max_generations=alignment_cache_max_generations)
         else:
             self.align_cache = None
+        self.alignment_cache_resident = bool(alignment_cache_resident)
         if alignment_cache_path is None:
             alignment_cache_path = os.environ.get(
                 ALIGN_CACHE_ENV, "").strip() or None
@@ -640,10 +658,12 @@ class MergeEngine:
         for stage in self.stages:
             stage.reset()
         self.linearize.clear()
-        if self.align_cache is not None:
+        if self.align_cache is not None and not self.alignment_cache_resident:
             # canonical content addressing keeps entries *correct* across
             # runs, but per-run stats argue for a reset; cross-run reuse
-            # goes through the explicit snapshot path below instead
+            # goes through the explicit snapshot path below instead.  A
+            # *resident* cache (the daemon's) skips the whole round-trip:
+            # entries stay warm in memory and its owner handles persistence.
             self.align_cache.clear()
             if (self.alignment_cache_path is not None
                     and self.alignment.uses_cache):
@@ -681,7 +701,11 @@ class MergeEngine:
             scheduler.run(worklist, available)
         finally:
             if owns_scheduler:
-                scheduler.close()
+                # release, not close: a keep-alive executor (caller-owned
+                # pool or the daemon's leased one) survives for the next
+                # run; everything else tears down exactly as before.  The
+                # failure path inside scheduler.run still closes for real.
+                scheduler.release()
             self.detach_run_state()
 
         report.stale_entries = scheduler.stats["stale_entries"]
@@ -690,10 +714,12 @@ class MergeEngine:
             self.candidate_search.stats.counters.get("rank_reuse_hits", 0))
         if self.align_cache is not None:
             if (self.alignment_cache_path is not None
-                    and self.alignment.uses_cache):
+                    and self.alignment.uses_cache
+                    and not self.alignment_cache_resident):
                 # save() merges with the snapshot on disk, so the shared
                 # file accumulates alignments across modules of a suite
-                # even when this run's LRU evicted some of them
+                # even when this run's LRU evicted some of them.  Resident
+                # caches persist on their owner's schedule instead.
                 self.align_cache.save(self.alignment_cache_path)
             report.scheduler_stats.update(self.align_cache.stats_dict())
         report.stage_times = self._legacy_stage_times()

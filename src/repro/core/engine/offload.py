@@ -53,6 +53,7 @@ cache-warming prefetch, never a second code path for deciding anything.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -229,12 +230,17 @@ class ProcessExecutor(PlanExecutor):
     #: IPC stays amortized.
     CHUNKS_PER_JOB = 4
 
-    def __init__(self, jobs: int, kernel: str = "auto"):
+    def __init__(self, jobs: int, kernel: str = "auto",
+                 keep_alive: bool = False):
         if kernel not in WORKER_KERNELS:
             raise ValueError(f"unknown offload worker kernel {kernel!r}; "
                              f"available: {WORKER_KERNELS}")
         self.jobs = max(1, int(jobs))
         self.kernel = kernel
+        #: When True the executor survives :meth:`release` (the end-of-run
+        #: teardown), so back-to-back engine runs in one process reuse the
+        #: same worker pool; only an explicit :meth:`close` shuts it down.
+        self.keep_alive = bool(keep_alive)
         #: Cumulative left-sequence bytes that task packing kept off the
         #: pickle boundary (see the module docstring); surfaced in the
         #: scheduler's ``offload_bytes_saved`` stat.
@@ -242,6 +248,14 @@ class ProcessExecutor(PlanExecutor):
         self._pool = ProcessPoolExecutor(max_workers=self.jobs,
                                          initializer=_init_worker,
                                          initargs=(kernel,))
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the pool's live worker processes (spawning one worker if
+        none exists yet).  Observability for keep-alive reuse tests and the
+        merge daemon's stats - with ``keep_alive=True``, consecutive runs
+        must report overlapping PID sets."""
+        self._pool.submit(os.getpid).result()  # force at least one worker
+        return sorted(self._pool._processes.keys())
 
     def map(self, fn, names):
         # finish-plan: main process, serially (the offload already paid the

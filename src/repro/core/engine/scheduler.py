@@ -54,7 +54,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from .plan import CommitEvents, MergePlan, PendingAlignment
 
@@ -86,13 +86,26 @@ class PlanExecutor:
     process set ``offloads_alignment = True`` and implement ``run_tasks``
     (see :class:`~repro.core.engine.offload.ProcessExecutor`); the
     scheduler then prefixes each batch with the offloaded align phase.
+
+    Lifecycle: the end-of-run teardown paths call :meth:`release`, which
+    closes the executor unless it was built with ``keep_alive=True`` - a
+    keep-alive executor survives ``engine.run()`` so back-to-back runs in
+    one process reuse the same worker pool, and its owner must eventually
+    call :meth:`close` explicitly.  Failure paths always :meth:`close` for
+    real (the pool may be broken), so long-lived owners (``MergeSession``,
+    the merge daemon) probe ``closed`` and build or lease a fresh executor
+    before the next run.
     """
 
     jobs = 1
     offloads_alignment = False
-    #: Set by ``close()``.  Long-lived owners (``MergeSession``) probe this
-    #: to detect that a failed ``scheduler.run`` tore the pool down and a
-    #: fresh executor must be built before the next update.
+    #: When True, :meth:`release` keeps the worker pool alive across runs;
+    #: only an explicit :meth:`close` tears it down.
+    keep_alive = False
+    #: Set by ``close()``.  Long-lived owners (``MergeSession``, the merge
+    #: daemon's warm context) probe this to detect that a failed
+    #: ``scheduler.run`` tore the pool down and a fresh executor must be
+    #: built before the next run.
     closed = False
 
     def map(self, fn: Callable[[str], Optional[MergePlan]],
@@ -101,6 +114,11 @@ class PlanExecutor:
 
     def close(self) -> None:
         self.closed = True
+
+    def release(self) -> None:
+        """End-of-run teardown: close unless this executor is keep-alive."""
+        if not self.keep_alive:
+            self.close()
 
 
 class SerialExecutor(PlanExecutor):
@@ -113,8 +131,9 @@ class SerialExecutor(PlanExecutor):
 class ThreadExecutor(PlanExecutor):
     """Plans entries on a ``concurrent.futures`` thread pool."""
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int, keep_alive: bool = False):
         self.jobs = max(1, int(jobs))
+        self.keep_alive = bool(keep_alive)
         self._pool = ThreadPoolExecutor(max_workers=self.jobs,
                                         thread_name_prefix="merge-plan")
 
@@ -142,9 +161,16 @@ EXECUTORS = {
 }
 
 
-def make_executor(kind: str = "auto", jobs: int = 1) -> PlanExecutor:
+def make_executor(kind: Union[str, PlanExecutor] = "auto",
+                  jobs: int = 1) -> PlanExecutor:
     """Instantiate a plan executor.  ``"auto"`` picks serial for ``jobs<=1``
-    and the thread pool otherwise."""
+    and the thread pool otherwise.  A pre-built :class:`PlanExecutor`
+    instance passes through unchanged - the caller-owned-pool seam: build
+    one ``ProcessExecutor(jobs, keep_alive=True)``, hand it to every run,
+    and the end-of-run :meth:`PlanExecutor.release` leaves its workers
+    alive for the next one."""
+    if isinstance(kind, PlanExecutor):
+        return kind
     if kind == "auto":
         kind = "serial" if jobs <= 1 else "thread"
     try:
@@ -441,4 +467,11 @@ class MergeScheduler:
                 stats["batch_size_trace"].append(self.batch_size)
 
     def close(self) -> None:
+        """Tear the executor's pool down unconditionally (the failure path:
+        the pool may be broken, and keep-alive must not leak a dead one)."""
         self.executor.close()
+
+    def release(self) -> None:
+        """End-of-run teardown: keep-alive executors survive for the next
+        run, everything else closes (see :meth:`PlanExecutor.release`)."""
+        self.executor.release()

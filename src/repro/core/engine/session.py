@@ -286,7 +286,8 @@ class MergeSession:
     immediately equivalent to ``engine.run(module)``.
     """
 
-    def __init__(self, engine: MergeEngine, module: Module):
+    def __init__(self, engine: MergeEngine, module: Module,
+                 executor=None):
         searcher = engine.searcher
         if getattr(searcher, "order_of", None) is None \
                 or getattr(searcher, "add_fingerprint", None) is None:
@@ -297,15 +298,39 @@ class MergeSession:
         self.engine = engine
         self.module = module
         self.updates = 0
+        self.closed = False
         self.report: Optional[MergeReport] = None
         self.last_update: Optional[SessionUpdateReport] = None
 
-        self._executor = make_executor(engine.executor_kind, engine.jobs)
+        #: Where executors come from: a callable returning a live
+        #: :class:`PlanExecutor` (the daemon leases its shared keep-alive
+        #: pool this way - recovery after a torn-down pool re-leases a
+        #: recycled one), a pre-built executor instance, or None for the
+        #: engine-configured default.
+        self._executor_source = executor
+        self._executor = self._build_executor()
         try:
             self._open()
         except BaseException:
-            self._executor.close()
+            self._executor.release()
             raise
+
+    def _build_executor(self):
+        """A live executor from the session's source (see ``__init__``)."""
+        from .scheduler import PlanExecutor
+        source = self._executor_source
+        if isinstance(source, PlanExecutor):
+            if not source.closed:
+                return source
+            # the provided instance died (a failed update closed its pool);
+            # fall back to the engine-configured default kind
+            kind = self.engine.executor_kind
+            if isinstance(kind, PlanExecutor):
+                kind = "auto"
+            return make_executor(kind, self.engine.jobs)
+        if callable(source):
+            return source()
+        return make_executor(self.engine.executor_kind, self.engine.jobs)
 
     # -- lifecycle --------------------------------------------------------------
     def _open(self) -> None:
@@ -314,7 +339,11 @@ class MergeSession:
         for stage in engine.stages:
             stage.reset()
         engine.linearize.clear()
-        if engine.align_cache is not None:
+        if engine.align_cache is not None \
+                and not engine.alignment_cache_resident:
+            # resident caches are owned (and persisted) by a long-lived
+            # host such as the merge daemon; their entries are content
+            # addressed, so sharing them across sessions is safe
             engine.align_cache.clear()
         engine.fingerprint.clear()
         engine._rank_cache.clear()
@@ -368,8 +397,17 @@ class MergeSession:
         self.last_update = update_report
 
     def close(self) -> None:
-        """Shut the session's plan executor down."""
-        self._executor.close()
+        """Release the session's plan executor deterministically.
+
+        Owned (non-keep-alive) executors shut their pools down; a borrowed
+        keep-alive executor (e.g. the daemon's shared pool) survives for
+        its owner to reuse.  Idempotent; a closed session rejects further
+        :meth:`update` calls.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._executor.release()
 
     def __enter__(self) -> "MergeSession":
         return self
@@ -436,13 +474,16 @@ class MergeSession:
         delta; ``self.report`` then holds the full-module report,
         bit-identical to a cold ``engine.run()`` on the edited module.
         """
+        if self.closed:
+            raise RuntimeError("MergeSession is closed")
         edits = list(edits)
         self._validate(edits)
         start = time.perf_counter()
         if self._executor.closed:
-            # a failed update's scheduler tore the pool down; recover
-            self._executor = make_executor(self.engine.executor_kind,
-                                           self.engine.jobs)
+            # a failed update's scheduler tore the pool down; recover from
+            # the session's executor source (a daemon-provided factory
+            # hands back its recycled shared pool)
+            self._executor = self._build_executor()
         for stage in self.engine.stages:
             stage.reset()  # per-update stats; caches are preserved
         self._rollback()

@@ -46,11 +46,12 @@ class FunctionMergingPass(Pass):
                  searcher: Union[str, object] = "indexed",
                  keyed_alignment: bool = True,
                  alignment_kernel: Optional[str] = None,
-                 alignment_cache: Union[bool, int] = True,
+                 alignment_cache: Union[bool, int, object] = True,
                  alignment_cache_path: Optional[str] = None,
                  alignment_cache_max_generations: Optional[int] = None,
+                 alignment_cache_resident: bool = False,
                  jobs: Optional[int] = None,
-                 executor: str = "auto",
+                 executor: Union[str, object] = "auto",
                  batch_size: Optional[int] = None,
                  adaptive_batch: Optional[bool] = None,
                  incremental_callgraph: bool = True,
@@ -85,7 +86,12 @@ class FunctionMergingPass(Pass):
                 ``options.alignment_algorithm``.  Bit-identical decisions
                 for every kernel.
             alignment_cache: content-addressed memoisation of keyed
-                alignments (default on; int = LRU capacity).
+                alignments (default on; int = LRU capacity; an
+                :class:`AlignmentCache` instance is adopted as-is - the
+                long-lived-host seam).
+            alignment_cache_resident: treat the cache as owned by a
+                long-lived host (daemon): runs neither clear it nor
+                load/save snapshots around it (see :class:`MergeEngine`).
             alignment_cache_path: snapshot file for cross-run persistence
                 of the alignment cache (default: the ``REPRO_ALIGN_CACHE``
                 environment variable).  Runs sharing a path warm-start from
@@ -123,6 +129,7 @@ class FunctionMergingPass(Pass):
             alignment_kernel=alignment_kernel, alignment_cache=alignment_cache,
             alignment_cache_path=alignment_cache_path,
             alignment_cache_max_generations=alignment_cache_max_generations,
+            alignment_cache_resident=alignment_cache_resident,
             jobs=jobs, executor=executor, batch_size=batch_size,
             adaptive_batch=adaptive_batch,
             incremental_callgraph=incremental_callgraph,

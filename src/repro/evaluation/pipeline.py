@@ -170,7 +170,10 @@ def open_compile_session(module: Module, *,
                          alignment_kernel: Optional[str] = None,
                          alignment_cache_path: Optional[str] = None,
                          jobs: Optional[int] = None,
-                         executor: str = "auto") -> MergeSession:
+                         executor: str = "auto",
+                         alignment_cache=None,
+                         alignment_cache_resident: bool = False,
+                         session_executor=None) -> MergeSession:
     """Open a long-lived incremental merge session over ``module``.
 
     Runs the same *pre* passes ``compile_module`` applies (DCE + CFG
@@ -187,6 +190,14 @@ def open_compile_session(module: Module, *,
     session's edit model) and applies no *post* cleanup; compare against
     cold ``MergeEngine`` runs, not full ``compile_module`` results.  Close
     the session (or use it as a context manager) to release its executor.
+
+    The warm-host seams: ``alignment_cache`` adopts a caller-owned
+    :class:`repro.core.engine.AlignmentCache` instance (with
+    ``alignment_cache_resident=True`` the session neither clears it nor
+    snapshots around it), and ``session_executor`` hands the session a live
+    :class:`PlanExecutor` or a zero-argument factory returning one - the
+    merge daemon leases its shared keep-alive pool to every session this
+    way.  Both default to the self-contained behaviour.
     """
     cost_model = get_target(target)
     DeadCodeElimination().run(module)
@@ -198,9 +209,12 @@ def open_compile_session(module: Module, *,
         hot_function_filter=hot_filter,
         searcher="indexed", keyed_alignment=keyed_alignment,
         alignment_kernel=alignment_kernel,
+        alignment_cache=(alignment_cache if alignment_cache is not None
+                         else True),
+        alignment_cache_resident=alignment_cache_resident,
         alignment_cache_path=alignment_cache_path, jobs=jobs,
         executor=executor)
-    return MergeSession(fmsa.engine, module)
+    return MergeSession(fmsa.engine, module, executor=session_executor)
 
 
 def compile_module(module: Module, technique: str, *,
@@ -217,7 +231,9 @@ def compile_module(module: Module, technique: str, *,
                    alignment_kernel: Optional[str] = None,
                    alignment_cache_path: Optional[str] = None,
                    jobs: Optional[int] = None,
-                   executor: str = "auto") -> CompilationResult:
+                   executor: str = "auto",
+                   merge_pass: Optional[FunctionMergingPass] = None
+                   ) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
     ``technique`` is one of ``"baseline"``, ``"identical"``, ``"soa"`` or
@@ -240,6 +256,16 @@ def compile_module(module: Module, technique: str, *,
     compilations stored there, which is how a suite evaluation amortizes
     the Needleman-Wunsch work across its benchmarks.  Decisions stay
     bit-identical with the cache cold, warm or absent.
+
+    ``merge_pass`` injects a pre-built :class:`FunctionMergingPass` for
+    ``technique="fmsa"`` instead of constructing one from the knobs above -
+    the warm-engine seam: a long-lived host (the merge daemon) reuses one
+    pass whose engine carries a resident alignment cache, warm interner and
+    keep-alive executor across calls.  The knobs that would configure a
+    fresh pass (threshold, oracle, searcher, kernels, jobs, ...) are
+    ignored when a pass is injected; decisions depend only on the pass's
+    own configuration, so a warm pass and the equivalent cold knobs produce
+    bit-identical results.
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -273,15 +299,18 @@ def compile_module(module: Module, technique: str, *,
             soa_report = StructuralFunctionMergingPass(cost_model).run(module)
             merge_count += soa_report.merge_count
         elif technique == "fmsa":
-            hot_filter = make_hotness_filter(hot_threshold) if exclude_hot else None
-            fmsa = FunctionMergingPass(
-                target=cost_model, exploration_threshold=threshold, oracle=oracle,
-                options=merge_options or MergeOptions(),
-                hot_function_filter=hot_filter,
-                searcher=searcher, keyed_alignment=keyed_alignment,
-                alignment_kernel=alignment_kernel,
-                alignment_cache_path=alignment_cache_path, jobs=jobs,
-                executor=executor)
+            if merge_pass is not None:
+                fmsa = merge_pass
+            else:
+                hot_filter = make_hotness_filter(hot_threshold) if exclude_hot else None
+                fmsa = FunctionMergingPass(
+                    target=cost_model, exploration_threshold=threshold, oracle=oracle,
+                    options=merge_options or MergeOptions(),
+                    hot_function_filter=hot_filter,
+                    searcher=searcher, keyed_alignment=keyed_alignment,
+                    alignment_kernel=alignment_kernel,
+                    alignment_cache_path=alignment_cache_path, jobs=jobs,
+                    executor=executor)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` starts the daemon (same as ``repro-served``)."""
+
+import sys
+
+from .cli import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,0 +1,160 @@
+"""Client for the merge daemon's JSON protocol.
+
+:class:`ServiceClient` speaks to one daemon over TCP (``"host:port"``) or a
+unix socket (any address containing a ``/``), mirroring the daemon's
+methods one call each::
+
+    with ServiceClient("127.0.0.1:7463") as client:
+        client.health()
+        result = client.compile_module(
+            {"kind": "workload", "suite": "mibench", "benchmark": "sha"})
+        sid = client.open_session({"kind": "source", "text": src})["session"]
+        client.session_update(sid, [{"op": "remove", "name": "dead"}])
+        client.close_session(sid)
+        print(client.stats()["pool_recycles"])
+
+Protocol errors come back as :class:`ServiceError` carrying the daemon's
+error ``code`` (``busy`` is the backpressure rejection - back off and
+retry).  One connection is kept alive across calls and transparently
+re-established when the daemon or an intermediary dropped it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import List, Optional
+
+
+class ServiceError(RuntimeError):
+    """An error response from the daemon; ``code`` is the protocol error
+    code (see :data:`repro.service.protocol.ERROR_STATUS`)."""
+
+    def __init__(self, code: str, message: str, status: int):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.status = status
+
+    @property
+    def is_busy(self) -> bool:
+        """True for the 429 backpressure rejection (retry later)."""
+        return self.code == "busy"
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One connection to a merge daemon (see the module docstring).
+
+    ``address`` is ``"host:port"`` for TCP or a filesystem path (anything
+    containing ``/``) for a unix socket.  Not thread-safe: give each client
+    thread its own instance (connections are cheap; the daemon is the
+    shared resource).
+    """
+
+    def __init__(self, address: str, timeout: Optional[float] = 60.0):
+        self.address = address
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ---------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            if "/" in self.address or self.address.startswith("@"):
+                self._connection = _UnixHTTPConnection(self.address,
+                                                       timeout=self.timeout)
+            else:
+                host, _, port = self.address.rpartition(":")
+                self._connection = http.client.HTTPConnection(
+                    host or "127.0.0.1", int(port), timeout=self.timeout)
+        return self._connection
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = (json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                if payload is not None else None)
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # stale keep-alive connection (daemon restarted, idle
+                # timeout, dropped after an error): reconnect once
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            raise ServiceError("internal",
+                               f"undecodable response ({raw[:80]!r})",
+                               response.status)
+        if response.status != 200 or "error" in decoded:
+            error = decoded.get("error", {})
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", f"HTTP {response.status}"),
+                               response.status)
+        return decoded
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- methods -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def compile_module(self, module: dict,
+                       options: Optional[dict] = None) -> dict:
+        """Compile one module payload through the daemon's warm engine;
+        returns the result object (sizes, ``merge_count``, ``decisions``,
+        timings - see :mod:`repro.service.protocol`)."""
+        request = {"module": module}
+        if options:
+            request["options"] = options
+        return self._request("POST", "/compile_module", request)
+
+    def open_session(self, module: dict,
+                     options: Optional[dict] = None) -> dict:
+        request = {"module": module}
+        if options:
+            request["options"] = options
+        return self._request("POST", "/open_session", request)
+
+    def session_update(self, session: str, edits: List[dict]) -> dict:
+        return self._request("POST", "/session_update",
+                             {"session": session, "edits": edits})
+
+    def close_session(self, session: str) -> dict:
+        return self._request("POST", "/close_session", {"session": session})

@@ -1,0 +1,216 @@
+"""JSON wire protocol of the merge daemon.
+
+One request = one JSON object POSTed to a method path, one response = one
+JSON object back.  The protocol is deliberately *regenerative*: module
+payloads describe how to **construct** the module - mini-C source text or a
+deterministic workload-generator spec - rather than shipping pickled IR.
+Both sides of the wire can therefore build bit-identical module objects,
+which is what lets the test suite assert that the daemon's merge decisions
+match a direct (daemon-less) ``compile_module`` call exactly: same payload,
+same module, same decisions.
+
+Methods (see :mod:`repro.service.daemon` for semantics):
+
+========================  ====  ==========================================
+``/compile_module``       POST  full pipeline over one module payload
+``/open_session``         POST  open an incremental :class:`MergeSession`
+``/session_update``       POST  apply a :class:`ModuleEdit` script
+``/close_session``        POST  close a session, free its resources
+``/stats``                GET   daemon counters (also POST, body ignored)
+``/health``               GET   liveness probe
+========================  ====  ==========================================
+
+Module payloads::
+
+    {"kind": "source",   "text": "<mini-C>", "name": "program"}
+    {"kind": "workload", "suite": "mibench" | "spec2006",
+     "benchmark": "sha", "scale": 1.0, "cap": 48, "seed": 0}
+
+Edit payloads (``session_update``)::
+
+    {"op": "add" | "replace", "name": "f", "source": "<mini-C>"}
+    {"op": "remove", "name": "f"}
+
+``add``/``replace`` compile their mini-C ``source`` and take the function
+named ``name`` from it (the source may define helpers; only ``name`` is
+used).  Errors come back as ``{"error": {"code": ..., "message": ...}}``
+with a matching HTTP status: ``bad-request`` 400, ``too-large`` 413,
+``unknown-method`` 404, ``unknown-session`` 404, ``busy`` 429 (the
+backpressure rejection - retry later), ``internal`` 500.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..core.engine import ModuleEdit
+from ..frontend.lowering import compile_source
+from ..ir.module import Module
+from ..workloads import build_mibench_benchmark, build_spec_benchmark
+
+#: Method paths the daemon serves.
+METHODS = ("compile_module", "open_session", "session_update",
+           "close_session", "stats", "health")
+
+#: Default cap on a request body; oversized payloads are rejected with
+#: ``too-large`` (HTTP 413) before the body is even read.
+DEFAULT_MAX_PAYLOAD_BYTES = 4 << 20
+
+#: error code -> HTTP status
+ERROR_STATUS = {
+    "bad-request": 400,
+    "too-large": 413,
+    "unknown-method": 404,
+    "unknown-session": 404,
+    "busy": 429,
+    "internal": 500,
+}
+
+#: Workload suites a ``{"kind": "workload"}`` payload may name.
+WORKLOAD_SUITES = ("mibench", "spec2006")
+
+
+class ProtocolError(Exception):
+    """A request the daemon rejects; ``code`` keys :data:`ERROR_STATUS`."""
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.status = ERROR_STATUS[code]
+
+    def to_payload(self) -> Dict[str, Dict[str, str]]:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+def parse_request(body: bytes) -> dict:
+    """Decode one request body into its JSON object (strictly a dict)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError("bad-request", f"malformed JSON body: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-request",
+                            "request body must be a JSON object")
+    return payload
+
+
+def build_module(payload) -> Module:
+    """Construct the module a ``module`` payload describes (see module
+    docstring).  Deterministic: the same payload always yields a
+    bit-identical module, on either side of the wire."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-request", "module payload must be an object")
+    kind = payload.get("kind")
+    if kind == "source":
+        text = payload.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("bad-request",
+                                "source module payload needs a 'text' string")
+        name = payload.get("name", "program")
+        if not isinstance(name, str):
+            raise ProtocolError("bad-request", "module 'name' must be a string")
+        try:
+            return compile_source(text, module_name=name)
+        except Exception as error:
+            raise ProtocolError("bad-request",
+                                f"module source does not compile: {error}")
+    if kind == "workload":
+        suite = payload.get("suite")
+        if suite not in WORKLOAD_SUITES:
+            raise ProtocolError(
+                "bad-request",
+                f"workload 'suite' must be one of {WORKLOAD_SUITES}")
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str):
+            raise ProtocolError("bad-request",
+                                "workload payload needs a 'benchmark' name")
+        kwargs = {}
+        for key, types in (("scale", (int, float)), ("cap", int),
+                           ("seed", int)):
+            if key in payload:
+                value = payload[key]
+                if not isinstance(value, types) or isinstance(value, bool):
+                    raise ProtocolError("bad-request",
+                                        f"workload {key!r} has a bad type")
+                kwargs[key] = value
+        builder = (build_mibench_benchmark if suite == "mibench"
+                   else build_spec_benchmark)
+        try:
+            return builder(benchmark, **kwargs).module
+        except Exception as error:
+            raise ProtocolError("bad-request",
+                                f"cannot build workload module: {error}")
+    raise ProtocolError("bad-request",
+                        "module payload 'kind' must be 'source' or 'workload'")
+
+
+def build_edits(payload) -> List[ModuleEdit]:
+    """Construct the :class:`ModuleEdit` script an ``edits`` payload
+    describes (see module docstring)."""
+    if not isinstance(payload, list):
+        raise ProtocolError("bad-request", "'edits' must be a list")
+    edits: List[ModuleEdit] = []
+    for index, item in enumerate(payload):
+        where = f"edit #{index}"
+        if not isinstance(item, dict):
+            raise ProtocolError("bad-request", f"{where} must be an object")
+        op = item.get("op")
+        name = item.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("bad-request", f"{where} needs a 'name'")
+        if op == "remove":
+            edits.append(ModuleEdit.remove(name))
+            continue
+        if op not in ("add", "replace"):
+            raise ProtocolError(
+                "bad-request",
+                f"{where}: 'op' must be 'add', 'remove' or 'replace'")
+        source = item.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError("bad-request",
+                                f"{where} needs a mini-C 'source' string")
+        try:
+            scratch = compile_source(source, module_name=f"edit{index}")
+        except Exception as error:
+            raise ProtocolError("bad-request",
+                                f"{where} source does not compile: {error}")
+        function = scratch.get_function(name)
+        if function is None or function.is_declaration:
+            raise ProtocolError(
+                "bad-request",
+                f"{where} source does not define function {name!r}")
+        edits.append(ModuleEdit.add(function) if op == "add"
+                     else ModuleEdit.replace(function))
+    return edits
+
+
+def jsonable_decisions(decision_keys) -> list:
+    """Decision keys (tuples from ``MergeReport.decision_keys()``) as plain
+    JSON data.  Tuples become lists recursively; a round-trip through JSON
+    on the client side compares equal to this, so bit-identity checks can
+    compare ``response["decisions"]`` against
+    ``jsonable_decisions(report.decision_keys())`` directly."""
+    def convert(value):
+        if isinstance(value, tuple):
+            return [convert(part) for part in value]
+        return value
+    return [convert(key) for key in decision_keys]
+
+
+def dump_response(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def check_payload_size(length: Optional[int], limit: int) -> None:
+    """Reject a request whose declared body size exceeds ``limit`` (the
+    daemon calls this *before* reading the body)."""
+    if length is None:
+        raise ProtocolError("bad-request", "missing Content-Length")
+    if length > limit:
+        raise ProtocolError(
+            "too-large",
+            f"request body of {length} bytes exceeds the limit of "
+            f"{limit} bytes")

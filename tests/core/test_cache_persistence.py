@@ -625,3 +625,96 @@ class TestCrossKernelTransfer:
         assert got.score == want.score
         assert [(e.left, e.right) for e in got.entries] \
             == [(e.left, e.right) for e in want.entries]
+
+
+class TestAutosave:
+    """Debounced background snapshots: put-count and time triggers, the
+    non-stacking flush guard, and crash durability (a killed process leaves
+    the last autosaved snapshot loadable)."""
+
+    def test_put_threshold_triggers_an_autosave(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        cache = AlignmentCache(autosave_path=path, save_every_n_puts=4)
+        for index in range(4):
+            cache.put(_digest_key(index, index + 1), "mmmm", 7)
+        assert cache.autosaves == 1
+        assert os.path.exists(path)
+        warm = AlignmentCache()
+        assert warm.load(path) == 4
+        assert warm.contains(_digest_key(0, 1))
+        # below the threshold nothing is written
+        cache.put(_digest_key(9, 10), "mmmm", 7)
+        assert cache.autosaves == 1
+
+    def test_forced_flush_writes_pending_entries(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        cache = AlignmentCache(autosave_path=path, save_every_n_puts=1000)
+        cache.put(_digest_key(1, 2), "mmmm", 5)
+        assert not os.path.exists(path)  # debounced: not due yet
+        assert cache.autosave_flush(force=True)
+        assert AlignmentCache().load(path) == 1
+        # nothing new pending: a second forced flush is a no-op
+        assert not cache.autosave_flush(force=True)
+        assert cache.autosaves == 1
+
+    def test_time_based_flush(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        cache = AlignmentCache(autosave_path=path, save_every_n_puts=None,
+                               autosave_interval=0.0)  # always due
+        cache.put(_digest_key(3, 4), "mmmm", 5)
+        assert cache.autosave_flush()
+        assert AlignmentCache().load(path) == 1
+
+    def test_disable_autosave_stops_writing(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        cache = AlignmentCache(autosave_path=path, save_every_n_puts=1)
+        cache.put(_digest_key(1, 2), "mmmm", 5)
+        assert cache.autosaves == 1
+        cache.disable_autosave()
+        cache.put(_digest_key(2, 3), "mmmm", 5)
+        assert cache.autosaves == 1
+
+    def test_autosaves_surface_in_stats(self, tmp_path):
+        path = str(tmp_path / "auto.json")
+        cache = AlignmentCache(autosave_path=path, save_every_n_puts=2)
+        for index in range(4):
+            cache.put(_digest_key(index, index + 1), "mmmm", 7)
+        assert cache.stats_dict()["align_cache_autosaves"] == 2
+
+    def test_killed_process_leaves_a_loadable_snapshot(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+        path = str(tmp_path / "auto.json")
+        # the child autosaves every 8 puts, reports each flush on stdout,
+        # then hangs forever; SIGKILL it mid-life and load what it left
+        child = textwrap.dedent(f"""
+            import sys
+            from repro.core.engine.align_cache import AlignmentCache
+            cache = AlignmentCache(autosave_path={path!r},
+                                   save_every_n_puts=8)
+            for index in range(32):
+                key = (bytes([index] * 16), bytes([index + 1] * 16),
+                       (1, -1, -1))
+                cache.put(key, "mmmm", 7)
+            print("flushed", cache.autosaves, flush=True)
+            sys.stdin.read()  # hang until killed
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.Popen([sys.executable, "-c", child], env=env,
+                                stdin=subprocess.PIPE,
+                                stdout=subprocess.PIPE)
+        try:
+            line = proc.stdout.readline().decode()
+            assert line.startswith("flushed 4"), line
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.kill()
+            proc.wait()
+        warm = AlignmentCache()
+        assert warm.load(path) == 32
+        assert warm.contains((bytes([0] * 16), bytes([1] * 16), (1, -1, -1)))

@@ -449,6 +449,61 @@ class TestExecutorLifecycle:
         assert report.scheduler_stats["offload_tasks"] == 0
 
 
+class TestKeepAliveExecutors:
+    def test_keep_alive_pool_is_reused_across_runs(self):
+        # two consecutive engine runs through a keep-alive executor must be
+        # served by the SAME worker processes - the daemon's warm-pool
+        # contract (no per-request pool spawn)
+        executor = ProcessExecutor(1, kernel="pure", keep_alive=True)
+        try:
+            pids_first = executor.worker_pids()
+            assert pids_first
+            for seed in (3, 3):
+                engine = MergeEngine(exploration_threshold=2, jobs=1,
+                                     executor=executor)
+                report = engine.run(build_module(seed))
+                assert report.merge_count >= 1
+                assert not executor.closed
+            assert executor.worker_pids() == pids_first
+        finally:
+            executor.close()
+        assert executor.closed
+
+    def test_release_respects_keep_alive_and_close_is_final(self):
+        keep = ProcessExecutor(1, kernel="pure", keep_alive=True)
+        keep.release()
+        assert not keep.closed  # release is a no-op while kept alive
+        keep.close()
+        assert keep.closed      # explicit close always wins
+        plain = ProcessExecutor(1, kernel="pure")
+        plain.release()
+        assert plain.closed     # non-keep-alive: release tears down
+
+    def test_borrowed_transient_executor_is_released_by_the_run(self):
+        # a caller-provided executor without keep_alive is closed by the
+        # engine's release path at the end of a successful run
+        executor = make_executor("thread", 2)
+        assert not executor.keep_alive
+        report = MergeEngine(exploration_threshold=2, jobs=2,
+                             executor=executor).run(build_module(3))
+        assert report.merge_count >= 1
+        assert executor.closed
+
+    def test_decisions_identical_between_fresh_and_warm_pools(self):
+        reference = FunctionMergingPass(
+            exploration_threshold=2, **SEED_CONFIG).run(build_module(11))
+        executor = ProcessExecutor(2, kernel="pure", keep_alive=True)
+        try:
+            warm_runs = []
+            for _ in range(2):
+                report = MergeEngine(exploration_threshold=2, jobs=2,
+                                     executor=executor).run(build_module(11))
+                warm_runs.append(decisions(report))
+        finally:
+            executor.close()
+        assert warm_runs[0] == warm_runs[1] == decisions(reference)
+
+
 # -- adaptive batching --------------------------------------------------------
 
 class TestAdaptiveBatching:

@@ -513,3 +513,81 @@ class TestDirtySet:
         assert sorted(dirty) == ["a", "b", "c"]
         dirty.clear()
         assert len(dirty) == 0
+
+
+class TestSessionLifecycle:
+    """Deterministic executor release: ``close()`` frees an owned pool,
+    borrowed keep-alive executors survive, factories re-lease on demand."""
+
+    def _engine(self, **kwargs):
+        kwargs.setdefault("exploration_threshold", 2)
+        return MergeEngine(**kwargs)
+
+    def test_close_frees_the_owned_executor(self):
+        from repro.core.engine.scheduler import make_executor  # noqa: F401
+        session = MergeSession(self._engine(executor="thread", jobs=2),
+                               build_module(3))
+        executor = session._executor
+        assert not executor.closed
+        session.close()
+        assert session.closed
+        assert executor.closed
+
+    def test_close_is_idempotent_and_update_after_close_raises(self):
+        session = MergeSession(self._engine(), build_module(3))
+        session.close()
+        session.close()  # second close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            session.update([])
+
+    def test_context_manager_closes(self):
+        with MergeSession(self._engine(executor="thread", jobs=2),
+                          build_module(3)) as session:
+            executor = session._executor
+            assert session.report is not None
+        assert session.closed
+        assert executor.closed
+
+    def test_borrowed_keep_alive_executor_survives_close(self):
+        from repro.core.engine.scheduler import make_executor
+        executor = make_executor("thread", 2)
+        executor.keep_alive = True
+        try:
+            session = MergeSession(self._engine(jobs=2), build_module(3),
+                                   executor=executor)
+            assert session._executor is executor
+            session.update([])
+            session.close()
+            assert not executor.closed  # the owner decides its lifetime
+        finally:
+            executor.close()
+
+    def test_closed_injected_executor_falls_back_to_a_fresh_one(self):
+        from repro.core.engine.scheduler import make_executor
+        stale = make_executor("thread", 2)
+        stale.close()
+        session = MergeSession(self._engine(executor="thread", jobs=2),
+                               build_module(3), executor=stale)
+        assert session._executor is not stale
+        assert not session._executor.closed
+        session.close()
+
+    def test_factory_releases_on_recovery(self):
+        from repro.core.engine.scheduler import make_executor
+        built = []
+
+        def lease():
+            executor = make_executor("serial", None)
+            built.append(executor)
+            return executor
+
+        session = MergeSession(self._engine(), build_module(3),
+                               executor=lease)
+        assert built and session._executor is built[0]
+        # simulate the daemon recycling the shared pool out from under the
+        # session: the next update re-leases through the factory
+        built[0].closed = True
+        session.update([])
+        assert session._executor is built[-1]
+        assert len(built) == 2
+        session.close()

@@ -1,0 +1,179 @@
+"""Tests for the merge daemon's JSON wire protocol.
+
+Covers the regenerative module payloads (source + workload kinds, both
+deterministic so the two sides of the wire can build bit-identical
+modules), the edit-script decoding, every bad-request rejection the
+protocol can express, payload-size gating, and the JSON form of decision
+keys (round-trips through JSON compare equal to the server-side encoding).
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import ModuleEdit
+from repro.evaluation.pipeline import compile_module
+from repro.ir.printer import function_to_str
+from repro.service import protocol
+from repro.service.protocol import (ERROR_STATUS, ProtocolError, build_edits,
+                                    build_module, check_payload_size,
+                                    jsonable_decisions, parse_request)
+
+SOURCE = """
+int add2(int a, int b) { int c; c = a + b; return c * 2; }
+int add3(int a, int b) { int c; c = a + b; return c * 3; }
+"""
+
+
+# -- request parsing ----------------------------------------------------------
+
+class TestParseRequest:
+    def test_parses_a_json_object(self):
+        assert parse_request(b'{"a": 1}') == {"a": 1}
+
+    @pytest.mark.parametrize("body", [
+        b"", b"{", b"not json at all", b'"just a string"', b"[1, 2]",
+        b"\xff\xfe\x00garbage",
+    ])
+    def test_malformed_bodies_are_bad_requests(self, body):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(body)
+        assert err.value.code == "bad-request"
+        assert err.value.status == 400
+
+    def test_error_payload_shape(self):
+        error = ProtocolError("busy", "try later")
+        assert error.to_payload() == {
+            "error": {"code": "busy", "message": "try later"}}
+        assert error.status == 429
+
+    def test_every_code_has_a_status(self):
+        for code, status in ERROR_STATUS.items():
+            assert ProtocolError(code, "x").status == status
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "x")
+
+
+# -- module payloads ----------------------------------------------------------
+
+class TestBuildModule:
+    def test_source_payload_compiles(self):
+        module = build_module({"kind": "source", "text": SOURCE,
+                               "name": "prog"})
+        assert module.name == "prog"
+        assert module.get_function("add2") is not None
+
+    def test_source_payload_is_deterministic(self):
+        payload = {"kind": "source", "text": SOURCE}
+        one, two = build_module(payload), build_module(payload)
+        assert ([function_to_str(f) for f in one.functions]
+                == [function_to_str(f) for f in two.functions])
+
+    def test_workload_payload_is_deterministic(self):
+        payload = {"kind": "workload", "suite": "mibench",
+                   "benchmark": "rijndael", "seed": 3}
+        one, two = build_module(payload), build_module(payload)
+        assert ([function_to_str(f) for f in one.functions]
+                == [function_to_str(f) for f in two.functions])
+
+    def test_spec_suite_works(self):
+        module = build_module({"kind": "workload", "suite": "spec2006",
+                               "benchmark": "429.mcf", "scale": 0.01})
+        assert len(module.functions) > 0
+
+    @pytest.mark.parametrize("payload", [
+        None, [], "x",
+        {},
+        {"kind": "tarball"},
+        {"kind": "source"},
+        {"kind": "source", "text": 7},
+        {"kind": "source", "text": "int f(", },          # parse error
+        {"kind": "source", "text": SOURCE, "name": 1},
+        {"kind": "workload"},
+        {"kind": "workload", "suite": "nosuite", "benchmark": "sha"},
+        {"kind": "workload", "suite": "mibench"},
+        {"kind": "workload", "suite": "mibench", "benchmark": "no-such"},
+        {"kind": "workload", "suite": "mibench", "benchmark": "sha",
+         "scale": "big"},
+        {"kind": "workload", "suite": "mibench", "benchmark": "sha",
+         "cap": True},
+    ])
+    def test_bad_module_payloads(self, payload):
+        with pytest.raises(ProtocolError) as err:
+            build_module(payload)
+        assert err.value.code == "bad-request"
+
+
+# -- edit payloads ------------------------------------------------------------
+
+class TestBuildEdits:
+    def test_remove(self):
+        (edit,) = build_edits([{"op": "remove", "name": "f"}])
+        assert isinstance(edit, ModuleEdit)
+        assert edit.kind == "remove" and edit.name == "f"
+
+    def test_add_and_replace_extract_the_named_function(self):
+        edits = build_edits([
+            {"op": "add", "name": "add2", "source": SOURCE},
+            {"op": "replace", "name": "add3", "source": SOURCE},
+        ])
+        assert [e.kind for e in edits] == ["add", "replace"]
+        assert edits[0].function.name == "add2"
+        assert edits[1].function.name == "add3"
+
+    @pytest.mark.parametrize("payload", [
+        {"not": "a list"},
+        [42],
+        [{"op": "add", "source": SOURCE}],                   # no name
+        [{"op": "add", "name": "", "source": SOURCE}],
+        [{"op": "frobnicate", "name": "f"}],
+        [{"op": "add", "name": "f"}],                        # no source
+        [{"op": "add", "name": "f", "source": 3}],
+        [{"op": "add", "name": "f", "source": "int f("}],    # parse error
+        [{"op": "add", "name": "missing", "source": SOURCE}],
+    ])
+    def test_bad_edit_payloads(self, payload):
+        with pytest.raises(ProtocolError) as err:
+            build_edits(payload)
+        assert err.value.code == "bad-request"
+
+
+# -- payload size gate --------------------------------------------------------
+
+class TestPayloadSize:
+    def test_within_limit_passes(self):
+        check_payload_size(10, 10)
+
+    def test_oversized_is_413(self):
+        with pytest.raises(ProtocolError) as err:
+            check_payload_size(11, 10)
+        assert err.value.code == "too-large"
+        assert err.value.status == 413
+
+    def test_missing_length_is_bad_request(self):
+        with pytest.raises(ProtocolError) as err:
+            check_payload_size(None, 10)
+        assert err.value.code == "bad-request"
+
+
+# -- decision keys over the wire ----------------------------------------------
+
+class TestJsonableDecisions:
+    def test_round_trip_compares_equal(self):
+        module = build_module({"kind": "workload", "suite": "mibench",
+                               "benchmark": "rijndael"})
+        result = compile_module(module, "fmsa")
+        keys = result.merge_report.decision_keys()
+        assert keys, "rijndael should commit at least one merge"
+        encoded = jsonable_decisions(keys)
+        # what a client receives after a JSON round trip is exactly what
+        # the server encoded - the bit-identity comparison both the tests
+        # and ci_service.py rely on
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert encoded[0][0] == keys[0][0]
+
+    def test_dump_response_is_utf8_json(self):
+        body = protocol.dump_response({"ok": True})
+        assert json.loads(body.decode("utf-8")) == {"ok": True}
