@@ -22,6 +22,7 @@ setup(
         "console_scripts": [
             "repro-served = repro.service.cli:serve_main",
             "repro-client = repro.service.cli:client_main",
+            "repro-lint = repro.analysis.cli:lint_main",
         ],
     },
     # the native DP kernels (nw-native / nw-banded-native).  optional=True:

@@ -1,0 +1,137 @@
+"""``repro-lint``: offline module/workload auditing.
+
+Runs verifier v2 (and, with ``--merge``, the merge-correctness linter over
+a full FMSA compilation) on named workloads::
+
+    repro-lint all                      # every generator, raw IR
+    repro-lint mibench:bitcount case:sphinx
+    repro-lint --merge --threshold 10 spec:473.astar
+    repro-lint --json all               # machine-readable diagnostics
+
+Targets are ``mibench:<name>``, ``spec:<name>``, ``case:<name>``,
+``mibench``/``spec``/``case`` (whole family) or ``all``.  Exit status is
+non-zero when any error-severity diagnostic is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, List, Tuple
+
+from ..ir.module import Module
+from .diagnostics import AnalysisDiagnostic, errors_of
+from .verifier2 import verify_module_v2
+
+
+def _case_study_names() -> List[str]:
+    from ..workloads.case_studies import SOURCES
+    return sorted(SOURCES)
+
+
+def _iter_targets(specs: Iterable[str]) -> List[Tuple[str, Module]]:
+    from ..workloads.case_studies import case_study_module
+    from ..workloads.mibench import build_mibench_benchmark, mibench_benchmark_names
+    from ..workloads.spec2006 import build_spec_benchmark, spec_benchmark_names
+
+    expanded: List[str] = []
+    for spec in specs:
+        if spec == "all":
+            expanded.extend(f"mibench:{n}" for n in mibench_benchmark_names())
+            expanded.extend(f"spec:{n}" for n in spec_benchmark_names())
+            expanded.extend(f"case:{n}" for n in _case_study_names())
+        elif spec == "mibench":
+            expanded.extend(f"mibench:{n}" for n in mibench_benchmark_names())
+        elif spec == "spec":
+            expanded.extend(f"spec:{n}" for n in spec_benchmark_names())
+        elif spec == "case":
+            expanded.extend(f"case:{n}" for n in _case_study_names())
+        else:
+            expanded.append(spec)
+
+    targets: List[Tuple[str, Module]] = []
+    for spec in expanded:
+        family, _, name = spec.partition(":")
+        if not name:
+            raise SystemExit(f"repro-lint: malformed target {spec!r} "
+                             "(expected family:name)")
+        if family == "mibench":
+            targets.append((spec, build_mibench_benchmark(name).module))
+        elif family == "spec":
+            targets.append((spec, build_spec_benchmark(name).module))
+        elif family == "case":
+            targets.append((spec, case_study_module(name)))
+        else:
+            raise SystemExit(f"repro-lint: unknown workload family "
+                             f"{family!r} in {spec!r}")
+    return targets
+
+
+def _audit(module: Module, merge: bool, threshold: int
+           ) -> List[AnalysisDiagnostic]:
+    diagnostics = list(verify_module_v2(module))
+    if merge:
+        from ..evaluation.pipeline import compile_module
+        from .merge_lint import lint_module
+        compile_module(module, "fmsa", threshold=threshold)
+        diagnostics.extend(verify_module_v2(module))
+        diagnostics.extend(lint_module(module))
+    return diagnostics
+
+
+def lint_main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Audit workload IR (and optionally merged output) with "
+                    "the repro static-analysis stack.")
+    parser.add_argument("targets", nargs="+",
+                        help="mibench:<name>, spec:<name>, case:<name>, a "
+                             "bare family name, or 'all'")
+    parser.add_argument("--merge", action="store_true",
+                        help="run the FMSA pipeline on each module and lint "
+                             "the merged result too")
+    parser.add_argument("--threshold", type=int, default=1,
+                        help="profitability threshold for --merge "
+                             "(default: 1)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit diagnostics as a JSON document")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-target progress lines")
+    args = parser.parse_args(argv)
+
+    report = []
+    total_errors = 0
+    try:
+        targets = _iter_targets(args.targets)
+    except KeyError as unknown:
+        print(f"repro-lint: {unknown.args[0]}", file=sys.stderr)
+        return 2
+    for label, module in targets:
+        diagnostics = _audit(module, args.merge, args.threshold)
+        bad = errors_of(diagnostics)
+        total_errors += len(bad)
+        report.append({"target": label,
+                       "functions": len(list(module.functions)),
+                       "errors": len(bad),
+                       "warnings": len(diagnostics) - len(bad),
+                       "diagnostics": [d.to_dict() for d in diagnostics]})
+        if not args.as_json:
+            if not args.quiet:
+                status = "FAIL" if bad else "ok"
+                print(f"{label}: {status} ({len(diagnostics)} finding(s))")
+            for diag in diagnostics:
+                print(f"  {diag.format()}")
+
+    if args.as_json:
+        json.dump({"targets": report, "errors": total_errors},
+                  sys.stdout, indent=2)
+        print()
+    elif not args.quiet:
+        print(f"repro-lint: {len(report)} target(s), "
+              f"{total_errors} error(s)")
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(lint_main())

@@ -1,0 +1,429 @@
+"""Reusable dataflow analyses over the repro IR.
+
+The verifier v2 and the merge linter both need the same handful of
+facts about a function — which blocks are reachable, who dominates whom,
+where every value is defined and used, what is live across block
+boundaries.  This module computes them once per function body and caches
+the bundle (:class:`FunctionAnalysis`) behind :class:`AnalysisCache`.
+
+The dominator tree uses the Cooper–Harvey–Kennedy "engineered" algorithm
+(iterative idom intersection over reverse post-order) rather than the
+classic per-block dominator *sets* already in ``repro.ir.cfg``: CHK is
+near-linear in practice and gives O(tree depth) dominance queries, which
+the def-before-def check issues once per operand of every instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir import types as ty
+from ..ir.cfg import reachable_blocks, successors
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Argument, Value
+
+
+class DominatorTree:
+    """Cooper–Harvey–Kennedy dominator tree over the reachable CFG.
+
+    Unreachable blocks have no immediate dominator and are, by convention,
+    dominated by nothing and dominating nothing (queries involving them
+    return ``False`` except for the reflexive case).
+
+    ``succ`` optionally replaces the successor relation — the verifier uses
+    this to build *predicated* trees over the CFG restricted by fixing one
+    ``i1`` guard argument (the merge codegen's ``%func_id``), which is how
+    the gated cross-block value flow of merged bodies is validated.
+    """
+
+    def __init__(self, function: Function, succ=None):
+        self.function = function
+        self._succ = succ if succ is not None else successors
+        #: reverse post-order over reachable blocks only
+        self.order: List[BasicBlock] = []
+        self._rpo_index: Dict[int, int] = {}
+        self._idom: Dict[int, Optional[BasicBlock]] = {}
+        self._depth: Dict[int, int] = {}
+        if not function.is_declaration:
+            self._build()
+
+    # -- construction --------------------------------------------------------
+    def _post_order(self, entry: BasicBlock) -> List[BasicBlock]:
+        # mirrors cfg.post_order (reversed canonical successors) so the
+        # default tree sees exactly the linearizer's deterministic order
+        succ = self._succ
+        visited: Set[int] = {id(entry)}
+        order: List[BasicBlock] = []
+        stack: List[tuple] = [(entry, iter(list(reversed(succ(entry)))))]
+        while stack:
+            block, it = stack[-1]
+            advanced = False
+            for s in it:
+                if id(s) not in visited:
+                    visited.add(id(s))
+                    stack.append((s, iter(list(reversed(succ(s))))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        return order
+
+    def _build(self) -> None:
+        function = self.function
+        entry = function.entry_block
+        self.order = list(reversed(self._post_order(entry)))
+        self._rpo_index = {id(b): i for i, b in enumerate(self.order)}
+        reachable = set(self._rpo_index)
+
+        preds: Dict[int, List[BasicBlock]] = {}
+        for block in function.blocks:
+            if id(block) not in reachable:
+                continue
+            for s in self._succ(block):
+                preds.setdefault(id(s), []).append(block)
+
+        idom = self._idom
+        idom[id(entry)] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.order[1:]:
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds.get(id(block), ()):
+                    if id(pred) not in idom:
+                        continue  # not processed yet
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom)
+                if new_idom is None:  # pragma: no cover - defensive
+                    continue
+                if idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+        # entry's conventional idom is None (the self-link is an algorithm
+        # artifact); depths are derived from the finished tree
+        idom[id(entry)] = None
+        depth = self._depth
+        depth[id(entry)] = 0
+        for block in self.order[1:]:
+            chain = []
+            cursor: Optional[BasicBlock] = block
+            while cursor is not None and id(cursor) not in depth:
+                chain.append(cursor)
+                cursor = idom.get(id(cursor))
+            base = depth[id(cursor)] if cursor is not None else 0
+            for offset, b in enumerate(reversed(chain), start=1):
+                depth[id(b)] = base + offset
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        index = self._rpo_index
+        idom = self._idom
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]  # type: ignore[assignment]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]  # type: ignore[assignment]
+        return a
+
+    # -- queries -------------------------------------------------------------
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._rpo_index
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self._idom.get(id(block))
+
+    def depth(self, block: BasicBlock) -> Optional[int]:
+        return self._depth.get(id(block))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when every path from entry to ``b`` passes through ``a``
+        (reflexive).  Queries on unreachable blocks answer only the
+        reflexive case."""
+        if a is b:
+            return True
+        da = self._depth.get(id(a))
+        db = self._depth.get(id(b))
+        if da is None or db is None or da >= db:
+            return False
+        cursor: Optional[BasicBlock] = b
+        while cursor is not None and self._depth[id(cursor)] > da:
+            cursor = self._idom.get(id(cursor))
+        return cursor is a
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def valid_use(self, def_site: Tuple[BasicBlock, int],
+                  use_block: BasicBlock, use_index: int) -> bool:
+        """Def-before-use validity *within this tree's CFG view*: vacuously
+        true when the use is unreachable here, otherwise the definition
+        must be reachable and dominate the use point."""
+        if not self.is_reachable(use_block):
+            return True
+        def_block, def_index = def_site
+        if not self.is_reachable(def_block):
+            return False
+        if def_block is use_block:
+            return def_index < use_index
+        return self.dominates(def_block, use_block)
+
+    def dominator_sets(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """Expand the tree into classic per-block dominator sets (reachable
+        blocks only) — used by tests to cross-check against
+        ``repro.ir.cfg.compute_dominators``."""
+        out: Dict[BasicBlock, Set[BasicBlock]] = {}
+        for block in self.order:
+            doms = {block}
+            cursor = self._idom.get(id(block))
+            while cursor is not None:
+                doms.add(cursor)
+                cursor = self._idom.get(id(cursor))
+            out[block] = doms
+        return out
+
+
+def _restricted_successors(block: BasicBlock,
+                           assignment: Dict[int, bool]) -> List[BasicBlock]:
+    """Successors of ``block`` in the CFG where every conditional branch
+    whose condition is in ``assignment`` (keyed by value id) is folded to
+    the assigned edge."""
+    term = block.terminator
+    if term is not None and term.opcode == "br" and len(term.operands) == 3:
+        value = assignment.get(id(term.operands[0]))
+        if value is not None:
+            return [term.operands[1] if value else term.operands[2]]
+    return successors(block)
+
+
+class DefUseChains:
+    """Where every local value is defined and used.
+
+    ``defs`` maps instruction ids to their (block, index) definition site;
+    ``uses`` maps value ids to the list of (user, operand_index) sites.
+    Arguments are recorded in ``argument_ids``; anything else (constants,
+    globals, functions, blocks) is not a tracked dataflow value.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.defs: Dict[int, Tuple[BasicBlock, int]] = {}
+        self.uses: Dict[int, List[Tuple[Instruction, int]]] = {}
+        self.argument_ids: Set[int] = {id(a) for a in function.arguments}
+        for block in function.blocks:
+            for index, inst in enumerate(block.instructions):
+                self.defs[id(inst)] = (block, index)
+        for block in function.blocks:
+            for inst in block.instructions:
+                for op_index, op in enumerate(inst.operands):
+                    if isinstance(op, (Instruction, Argument)):
+                        self.uses.setdefault(id(op), []).append((inst, op_index))
+
+    def definition_site(self, value: Value) -> Optional[Tuple[BasicBlock, int]]:
+        return self.defs.get(id(value))
+
+    def users_of(self, value: Value) -> List[Tuple[Instruction, int]]:
+        return self.uses.get(id(value), [])
+
+
+class Liveness:
+    """Per-block live-in/live-out sets of local value ids.
+
+    Classic backward iterative dataflow: ``gen`` is the set of values with
+    an upward-exposed use in the block, ``kill`` the set of values defined
+    in it.  Phi operands are treated as uses in the phi's own block — a
+    deliberate over-approximation (the repro pipeline demotes phis before
+    merging, so merged bodies never contain them); it only ever *grows*
+    liveness, never hides a live value.
+    """
+
+    def __init__(self, function: Function, defuse: Optional[DefUseChains] = None):
+        self.function = function
+        defuse = defuse or DefUseChains(function)
+        self.live_in: Dict[int, Set[int]] = {}
+        self.live_out: Dict[int, Set[int]] = {}
+        gen: Dict[int, Set[int]] = {}
+        kill: Dict[int, Set[int]] = {}
+        for block in function.blocks:
+            g: Set[int] = set()
+            k: Set[int] = set()
+            for inst in block.instructions:
+                for op in inst.operands:
+                    if isinstance(op, (Instruction, Argument)) and id(op) not in k:
+                        g.add(id(op))
+                k.add(id(inst))
+            gen[id(block)] = g
+            kill[id(block)] = k
+            self.live_in[id(block)] = set(g)
+            self.live_out[id(block)] = set()
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(function.blocks):
+                out: Set[int] = set()
+                for succ in successors(block):
+                    out |= self.live_in.get(id(succ), set())
+                if out != self.live_out[id(block)]:
+                    self.live_out[id(block)] = out
+                new_in = gen[id(block)] | (out - kill[id(block)])
+                if new_in != self.live_in[id(block)]:
+                    self.live_in[id(block)] = new_in
+                    changed = True
+
+    def live_across(self, value: Value) -> bool:
+        """True when ``value`` is live into at least one block (i.e. used
+        outside its defining block)."""
+        vid = id(value)
+        return any(vid in live for live in self.live_in.values())
+
+
+class FunctionAnalysis:
+    """Lazy bundle of all per-function analyses.
+
+    Construction is free; each analysis is computed on first access and
+    memoized for the lifetime of the bundle.  Bundles are invalidated as a
+    whole through :class:`AnalysisCache` when the engine rewrites a body.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._domtree: Optional[DominatorTree] = None
+        self._defuse: Optional[DefUseChains] = None
+        self._liveness: Optional[Liveness] = None
+        self._reachable: Optional[Set[int]] = None
+        self._branch_predicates: Optional[List[Argument]] = None
+        self._predicated: Dict[tuple, DominatorTree] = {}
+
+    @property
+    def domtree(self) -> DominatorTree:
+        if self._domtree is None:
+            self._domtree = DominatorTree(self.function)
+        return self._domtree
+
+    @property
+    def defuse(self) -> DefUseChains:
+        if self._defuse is None:
+            self._defuse = DefUseChains(self.function)
+        return self._defuse
+
+    @property
+    def liveness(self) -> Liveness:
+        if self._liveness is None:
+            self._liveness = Liveness(self.function, self._defuse)
+        return self._liveness
+
+    @property
+    def reachable(self) -> Set[int]:
+        if self._reachable is None:
+            self._reachable = reachable_blocks(self.function)
+        return self._reachable
+
+    @property
+    def branch_predicates(self) -> List[Argument]:
+        """The ``i1`` arguments used as conditional-branch discriminators —
+        in merged bodies this is the ``%func_id`` guard argument.  Their
+        value is fixed for a whole execution, which is what makes
+        predicated dominance sound."""
+        if self._branch_predicates is None:
+            found: List[Argument] = []
+            seen: Set[int] = set()
+            for block in self.function.blocks:
+                term = block.terminator
+                if term is None or term.opcode != "br" or len(term.operands) != 3:
+                    continue
+                cond = term.operands[0]
+                if isinstance(cond, Argument) and cond.type == ty.I1 \
+                        and id(cond) not in seen:
+                    seen.add(id(cond))
+                    found.append(cond)
+            self._branch_predicates = found
+        return self._branch_predicates
+
+    def predicated(self, assignment: Dict[Argument, bool]) -> DominatorTree:
+        """Dominator tree over the CFG restricted by fixing the given
+        guard arguments (conditional branches on an assigned predicate
+        keep only the assigned edge).  Trees are cached per assignment."""
+        key = tuple(sorted((id(a), v) for a, v in assignment.items()))
+        tree = self._predicated.get(key)
+        if tree is None:
+            by_id = {id(a): v for a, v in assignment.items()}
+            tree = DominatorTree(
+                self.function,
+                succ=lambda b: _restricted_successors(b, by_id))
+            self._predicated[key] = tree
+        return tree
+
+    def dominates_use(self, def_site: Tuple[BasicBlock, int],
+                      use_block: BasicBlock, use_index: int) -> bool:
+        """Instruction-granular dominance: does the definition at
+        ``def_site`` dominate the use at ``(use_block, use_index)``?"""
+        def_block, def_index = def_site
+        if def_block is use_block:
+            return def_index < use_index
+        return self.domtree.dominates(def_block, use_block)
+
+
+def _body_token(function: Function) -> Tuple[int, int, int]:
+    """Cheap structural identity of a body, mirroring the linearize stage's
+    body token: the entry block's object id plus block/instruction counts.
+
+    In-place rewrites (call-site retargeting) do not move this token — the
+    engine fires explicit ``invalidate`` hooks for those, exactly as it
+    does for the linearization cache.
+    """
+    blocks = function.blocks
+    entry_id = id(blocks[0]) if blocks else 0
+    count = sum(len(b.instructions) for b in blocks)
+    return (entry_id, len(blocks), count)
+
+
+class AnalysisCache:
+    """Per-function :class:`FunctionAnalysis` results, keyed by function
+    name and validated by a structural body token — optionally sharpened
+    with the function's merge fingerprint when the caller has one live
+    (``get(fn, fingerprint=fp)``).
+
+    The engine invalidates entries from the same seams where it
+    invalidates linearizations (commit-time call-site rewrites, session
+    rollback transplants), so a hit is always safe to reuse.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[tuple, FunctionAnalysis]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, function: Function, fingerprint=None) -> FunctionAnalysis:
+        key = _body_token(function)
+        if fingerprint is not None:
+            key = key + (id(fingerprint),)
+        cached = self._entries.get(function.name)
+        if cached is not None and cached[0] == key and cached[1].function is function:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        analysis = FunctionAnalysis(function)
+        self._entries[function.name] = (key, analysis)
+        return analysis
+
+    def invalidate(self, name: str) -> None:
+        if self._entries.pop(name, None) is not None:
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"analysis_cache_hits": self.hits,
+                "analysis_cache_misses": self.misses,
+                "analysis_cache_invalidations": self.invalidations}
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)

@@ -1,0 +1,290 @@
+"""Merge-correctness linter.
+
+The verifier checks that a module is well-formed *IR*; this linter checks
+that it is a well-formed *merge result*.  After every committed merge the
+engine has made a set of promises — thunks forward to the merged function
+with exactly the argument list code generation derived, deleted originals
+left no dangling references behind, the incrementally maintained
+:class:`~repro.ir.callgraph.CallGraph` still agrees with a fresh rebuild —
+and each promise here becomes a ``mergelint.*`` rule:
+
+``mergelint.merged-missing``
+    The committed merged function is not (or no longer) registered in the
+    module under its recorded name.
+``mergelint.discriminator``
+    The function-id discriminator is not an ``i1`` parameter of the merged
+    function, or a select keyed on it is malformed.
+``mergelint.thunk-shape`` / ``mergelint.thunk-callee`` /
+``mergelint.thunk-signature``
+    A replaced original is not a single-block call-and-return thunk, calls
+    something other than the merged function, or passes an argument list
+    that differs from the one :meth:`MergeResult.call_arguments` derives.
+``mergelint.deleted-survives`` / ``mergelint.dangling-reference``
+    A supposedly deleted original is still registered, or some instruction
+    still references a function that left the module.
+``mergelint.callgraph-edges`` / ``mergelint.callgraph-sites`` /
+``mergelint.address-taken``
+    The live call graph diverges from reference semantics (a fresh
+    ``CallGraph(module)`` rebuild).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..ir.callgraph import CallGraph
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir import types as ty
+from ..ir.values import Argument, Constant
+from .diagnostics import AnalysisDiagnostic, error
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..core.codegen import MergeResult
+    from ..core.thunks import AppliedMerge
+
+
+def _values_equal(actual, expected) -> bool:
+    """Compare one call argument against the re-derived expectation.
+
+    ``call_arguments`` materialises fresh ``Constant`` objects every call
+    (function-id constants, undef placeholders), so constants compare
+    structurally; everything else (arguments, instructions) must be the
+    very same value object.
+    """
+    if isinstance(expected, Constant):
+        return isinstance(actual, Constant) and actual == expected
+    return actual is expected
+
+
+def _lint_thunk(original: Function, side: int, result: "MergeResult",
+                diags: List[AnalysisDiagnostic]) -> None:
+    name = original.name
+
+    def bad(rule: str, message: str, location: str = "thunk") -> None:
+        diags.append(error(rule, name, location, message))
+
+    if original.is_declaration or not original.blocks:
+        bad("mergelint.thunk-shape", "thunk has no body")
+        return
+    if len(original.blocks) > 1:
+        bad("mergelint.thunk-shape",
+            f"thunk has {len(original.blocks)} blocks, expected 1")
+        return
+    block = original.blocks[0]
+    insts = list(block.instructions)
+    if not insts or insts[0].opcode != "call":
+        bad("mergelint.thunk-shape", "thunk body does not start with a call")
+        return
+    call = insts[0]
+    if call.operands[0] is not result.merged:
+        callee = getattr(call.operands[0], "name", "?")
+        bad("mergelint.thunk-callee",
+            f"thunk calls {callee}, expected {result.merged.name}")
+    expected = result.call_arguments(side, list(original.arguments))
+    actual = list(call.operands[1:])
+    if len(actual) != len(expected):
+        bad("mergelint.thunk-signature",
+            f"thunk passes {len(actual)} arguments, codegen derived "
+            f"{len(expected)}")
+    else:
+        for i, (got, want) in enumerate(zip(actual, expected)):
+            if not _values_equal(got, want):
+                bad("mergelint.thunk-signature",
+                    f"thunk argument {i} diverges from the derived call "
+                    f"arguments ({got.short_name()} vs {want.short_name()})")
+        if result.uses_func_id:
+            for i, merged_param in enumerate(result.merged.arguments):
+                if merged_param is result.func_id:
+                    want_const = result.func_id_constant(side)
+                    if i >= len(actual) or not _values_equal(actual[i], want_const):
+                        bad("mergelint.thunk-signature",
+                            f"thunk function-id argument is not the side-{side} "
+                            "discriminator constant")
+    # everything between the call and the final ret must be a cast chain
+    # narrowing/widening the merged return back to the original type
+    tail = insts[1:]
+    if not tail or tail[-1].opcode != "ret":
+        bad("mergelint.thunk-shape", "thunk does not end in ret")
+        return
+    value = call
+    for inst in tail[:-1]:
+        if not inst.is_cast or inst.operands[0] is not value:
+            bad("mergelint.thunk-shape",
+                f"unexpected {inst.opcode} between thunk call and ret")
+            return
+        value = inst
+    ret = tail[-1]
+    if original.return_type.is_void:
+        if ret.operands:
+            bad("mergelint.thunk-shape", "void thunk returns a value")
+    elif not ret.operands or ret.operands[0] is not value:
+        bad("mergelint.thunk-shape",
+            "thunk does not return the (converted) merged call result")
+
+
+def _lint_discriminator(result: "MergeResult",
+                        diags: List[AnalysisDiagnostic]) -> None:
+    merged = result.merged
+    if not result.uses_func_id:
+        return
+    func_id = result.func_id
+    loc = "arguments"
+    if not isinstance(func_id, Argument):
+        diags.append(error("mergelint.discriminator", merged.name, loc,
+                           "function-id discriminator is not an argument"))
+        return
+    if not any(arg is func_id for arg in merged.arguments):
+        diags.append(error("mergelint.discriminator", merged.name, loc,
+                           "discriminator is not a parameter of the merged "
+                           "function"))
+    if func_id.type != ty.I1:
+        diags.append(error("mergelint.discriminator", merged.name, loc,
+                           f"discriminator has type {func_id.type}, not i1"))
+        return
+    for block in merged.blocks:
+        for index, inst in enumerate(block.instructions):
+            keyed = (inst.opcode in ("br", "select")
+                     and inst.operands and inst.operands[0] is func_id)
+            if not keyed:
+                continue
+            where = f"{block.name}[{index}] {inst.opcode}"
+            if inst.opcode == "br" and len(inst.operands) != 3:
+                diags.append(error("mergelint.discriminator", merged.name,
+                                   where, "discriminator branch is not "
+                                   "two-way conditional"))
+            if inst.opcode == "select":
+                if len(inst.operands) != 3:
+                    diags.append(error("mergelint.discriminator", merged.name,
+                                       where, "discriminator select is "
+                                       "malformed"))
+                else:
+                    tv, fv = inst.operands[1], inst.operands[2]
+                    if (tv.type != fv.type
+                            and not ty.can_losslessly_bitcast(tv.type, fv.type)):
+                        diags.append(error(
+                            "mergelint.discriminator", merged.name, where,
+                            "discriminator select arms have incompatible "
+                            f"types ({tv.type} vs {fv.type})"))
+
+
+def _scan_dangling(module: Module,
+                   diags: List[AnalysisDiagnostic]) -> None:
+    for function in module.functions:
+        for block in function.blocks:
+            for index, inst in enumerate(block.instructions):
+                for op in inst.operands:
+                    if isinstance(op, Function) and op.module is not module:
+                        where = f"{block.name}[{index}] {inst.opcode}"
+                        diags.append(error(
+                            "mergelint.dangling-reference", function.name,
+                            where,
+                            f"references {op.name}, which is not registered "
+                            "in this module"))
+
+
+def _normalized(edges: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+    return {name: set(targets) for name, targets in edges.items() if targets}
+
+
+def lint_callgraph(module: Module,
+                   call_graph: CallGraph) -> List[AnalysisDiagnostic]:
+    """Compare an incrementally maintained call graph against a fresh
+    rebuild of the same module (the documented reference semantics)."""
+    diags: List[AnalysisDiagnostic] = []
+    fresh = CallGraph(module)
+
+    for kind, stale, truth in (("callee", call_graph.callees, fresh.callees),
+                               ("caller", call_graph.callers, fresh.callers)):
+        stale_n, truth_n = _normalized(stale), _normalized(truth)
+        for name in sorted(set(stale_n) | set(truth_n)):
+            have = stale_n.get(name, set())
+            want = truth_n.get(name, set())
+            if have != want:
+                extra = ", ".join(sorted(have - want)) or "-"
+                missing = ", ".join(sorted(want - have)) or "-"
+                diags.append(error(
+                    "mergelint.callgraph-edges", name, f"{kind}s",
+                    f"stale {kind} edges (spurious: {extra}; "
+                    f"missing: {missing})"))
+
+    if call_graph.address_taken != fresh.address_taken:
+        extra = ", ".join(sorted(call_graph.address_taken
+                                 - fresh.address_taken)) or "-"
+        missing = ", ".join(sorted(fresh.address_taken
+                                   - call_graph.address_taken)) or "-"
+        diags.append(error(
+            "mergelint.address-taken", "", "module",
+            f"address-taken set diverges from rebuild (spurious: {extra}; "
+            f"missing: {missing})"))
+
+    for name in sorted(set(call_graph.call_sites) | set(fresh.call_sites)):
+        live = [s for s in call_graph.call_sites.get(name, [])
+                if s.parent is not None]
+        want_sites = fresh.call_sites.get(name, [])
+        if len(live) != len(want_sites):
+            diags.append(error(
+                "mergelint.callgraph-sites", name, "call-sites",
+                f"tracks {len(live)} live call sites, rebuild finds "
+                f"{len(want_sites)}"))
+    return diags
+
+
+def lint_commit(module: Module, result: "MergeResult",
+                applied: "AppliedMerge",
+                call_graph: Optional[CallGraph] = None
+                ) -> List[AnalysisDiagnostic]:
+    """Audit one committed merge.
+
+    ``result`` is the code-generation result the engine committed and
+    ``applied`` the :class:`AppliedMerge` record ``apply_merge`` returned.
+    When ``call_graph`` is given it is additionally compared against a
+    fresh rebuild.
+    """
+    diags: List[AnalysisDiagnostic] = []
+
+    registered = module.get_function(applied.merged_name)
+    if registered is not result.merged:
+        diags.append(error(
+            "mergelint.merged-missing", applied.merged_name, "module",
+            "committed merged function is not registered in the module"))
+        return diags
+
+    _lint_discriminator(result, diags)
+
+    originals = (result.function1, result.function2)
+    names = (applied.function1, applied.function2)
+    for side, disposition in enumerate(applied.disposition):
+        name = names[side]
+        if disposition == "thunk":
+            survivor = module.get_function(name)
+            if survivor is None:
+                diags.append(error("mergelint.thunk-shape", name, "module",
+                                   "thunked original vanished from the "
+                                   "module"))
+                continue
+            _lint_thunk(survivor, side, result, diags)
+        elif disposition == "deleted":
+            original = originals[side]
+            if module.get_function(name) is original:
+                diags.append(error(
+                    "mergelint.deleted-survives", name, "module",
+                    "original recorded as deleted is still registered"))
+
+    _scan_dangling(module, diags)
+
+    if call_graph is not None:
+        diags.extend(lint_callgraph(module, call_graph))
+    return diags
+
+
+def lint_module(module: Module,
+                call_graph: Optional[CallGraph] = None
+                ) -> List[AnalysisDiagnostic]:
+    """Module-wide merge hygiene: no dangling function references, and the
+    (optional) live call graph matches a fresh rebuild."""
+    diags: List[AnalysisDiagnostic] = []
+    _scan_dangling(module, diags)
+    if call_graph is not None:
+        diags.extend(lint_callgraph(module, call_graph))
+    return diags

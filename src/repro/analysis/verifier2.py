@@ -1,0 +1,422 @@
+"""Dataflow-based IR verifier (v2).
+
+The structural verifier in ``repro.ir.verifier`` answers "is every operand
+*some* value of this function" with a flat ``id()``-set.  This verifier
+replaces that membership test with real dataflow facts from
+:mod:`repro.analysis.dataflow`:
+
+* **dominance-aware def-before-use** — an instruction operand must be
+  defined at a program point that dominates the use (same-block order, or
+  block dominance via the CHK dominator tree); phi incomings must dominate
+  the terminator of their incoming edge's source block;
+* **CFG consistency** — terminator targets must be member blocks, the
+  entry block must have no predecessors, phi incoming lists must match the
+  predecessor set exactly;
+* **unreachable-block detection** — reported as warnings (the cleanup
+  pipeline deletes them; their presence is suspicious but not unsound);
+* **full per-opcode type checking** — everything the structural verifier
+  checks (shared via ``verify_instruction_types``) plus casts, switch,
+  gep/alloca shapes, icmp/fcmp/select/freeze result types, and call/invoke
+  callees that must live in the caller's module.
+
+All findings are structured :class:`AnalysisDiagnostic` records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..ir import types as ty
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable
+from ..ir.verifier import verify_instruction_types
+from .dataflow import AnalysisCache, FunctionAnalysis
+from .diagnostics import AnalysisDiagnostic, AnalysisError, error, errors_of, warning
+
+#: Joint predicate assignments grow as 2^k; merged bodies have one guard
+#: argument per merge generation, so 4 covers four-deep remerges while
+#: keeping the worst case at 16 restricted dominator trees per function.
+_MAX_GATED_PREDICATES = 4
+
+_INT_TO_INT_CASTS = ("zext", "sext", "trunc")
+_WIDENING_CASTS = ("zext", "sext", "fpext")
+_NARROWING_CASTS = ("trunc", "fptrunc")
+
+
+class Verifier:
+    """Verifier v2.  Reuses dataflow bundles through an
+    :class:`AnalysisCache`, so repeated verification of unchanged bodies
+    (the sanitizer's per-commit loop) costs one cache lookup."""
+
+    def __init__(self, cache: Optional[AnalysisCache] = None):
+        self.cache = cache if cache is not None else AnalysisCache()
+
+    # -- entry points --------------------------------------------------------
+    def verify_module(self, module: Module) -> List[AnalysisDiagnostic]:
+        diags: List[AnalysisDiagnostic] = []
+        for function in module.functions:
+            if module.get_function(function.name) is not function:  # pragma: no cover
+                diags.append(error("verifier.module-registry", function.name, "",
+                                   "function registered under a different name"))
+            diags.extend(self.verify_function(function))
+        return diags
+
+    def verify_function(self, function: Function) -> List[AnalysisDiagnostic]:
+        name = function.name
+        diags: List[AnalysisDiagnostic] = []
+
+        if len(function.arguments) != len(function.function_type.param_types):
+            diags.append(error("verifier.argument-arity", name, "",
+                               f"{len(function.arguments)} arguments vs "
+                               f"{len(function.function_type.param_types)} parameter types"))
+        else:
+            for i, (arg, want) in enumerate(zip(function.arguments,
+                                                function.function_type.param_types)):
+                if arg.type != want:
+                    diags.append(error("verifier.argument-type", name, f"arg{i}",
+                                       f"argument type {arg.type} vs parameter {want}"))
+        for i, arg in enumerate(function.arguments):
+            if arg.parent is not function:
+                diags.append(error("verifier.argument-parent", name, f"arg{i}",
+                                   "argument parent link broken"))
+
+        if function.is_declaration:
+            return diags
+
+        analysis = self.cache.get(function)
+        diags.extend(self._check_blocks(function, analysis))
+        return diags
+
+    # -- block / CFG checks --------------------------------------------------
+    def _check_blocks(self, function: Function,
+                      analysis: FunctionAnalysis) -> List[AnalysisDiagnostic]:
+        name = function.name
+        diags: List[AnalysisDiagnostic] = []
+        member_ids = {id(b) for b in function.blocks}
+        entry = function.entry_block
+
+        for pred in entry.predecessors():
+            diags.append(error("cfg.entry-predecessor", name, entry.name,
+                               f"entry block is a branch target of {pred.name}"))
+
+        for block in function.blocks:
+            if block.parent is not function:
+                diags.append(error("verifier.block-parent", name, block.name,
+                                   "block parent link broken"))
+            if not block.instructions:
+                diags.append(error("verifier.empty-block", name, block.name,
+                                   "empty basic block"))
+                continue
+            if id(block) not in analysis.reachable:
+                diags.append(warning("cfg.unreachable-block", name, block.name,
+                                     "block is unreachable from the entry block"))
+            term = block.instructions[-1]
+            if not term.is_terminator:
+                diags.append(error("verifier.no-terminator", name, block.name,
+                                   "block does not end in a terminator"))
+            else:
+                for succ in block.successors():
+                    if id(succ) not in member_ids:
+                        diags.append(error(
+                            "cfg.foreign-successor", name, block.name,
+                            f"terminator targets {succ.name}, which is not a "
+                            f"block of this function"))
+            for index, inst in enumerate(block.instructions):
+                if inst.is_terminator and index != len(block.instructions) - 1:
+                    diags.append(error("verifier.mid-block-terminator", name,
+                                       f"{block.name}[{index}]",
+                                       "terminator in the middle of a block"))
+                diags.extend(self._check_instruction(function, analysis, block,
+                                                     inst, index, member_ids))
+        return diags
+
+    # -- instruction checks --------------------------------------------------
+    def _check_instruction(self, function: Function, analysis: FunctionAnalysis,
+                           block: BasicBlock, inst: Instruction, index: int,
+                           member_ids: set) -> List[AnalysisDiagnostic]:
+        name = function.name
+        where = f"{block.name}[{index}] {inst.opcode}"
+        diags: List[AnalysisDiagnostic] = []
+
+        if inst.parent is not block:
+            diags.append(error("verifier.inst-parent", name, where,
+                               "instruction parent link broken"))
+
+        # shared structural opcode checks (br/ret/store/load/cmp/... shapes)
+        for msg in verify_instruction_types(function, block, inst, index):
+            diags.append(error("verifier.opcode", name, where,
+                               msg.split(": ", 1)[-1]))
+
+        diags.extend(self._check_operand_flow(function, analysis, block, inst,
+                                              index, member_ids, where))
+        diags.extend(self._check_extended_types(function, inst, name, where))
+        return diags
+
+    def _check_operand_flow(self, function: Function, analysis: FunctionAnalysis,
+                            block: BasicBlock, inst: Instruction, index: int,
+                            member_ids: set, where: str) -> List[AnalysisDiagnostic]:
+        """Dominance-aware def-before-use — the replacement for the flat
+        ``id()``-membership check of the structural verifier."""
+        name = function.name
+        diags: List[AnalysisDiagnostic] = []
+        defuse = analysis.defuse
+        use_reachable = id(block) in analysis.reachable
+
+        for op_index, op in enumerate(inst.operands):
+            if isinstance(op, Function):
+                if op.module is not None and function.module is not None \
+                        and op.module is not function.module:
+                    diags.append(error("verifier.foreign-callee", name, where,
+                                       f"references function @{op.name} from "
+                                       f"another module"))
+                elif op.module is None and function.module is not None:
+                    diags.append(error("verifier.dangling-callee", name, where,
+                                       f"references function @{op.name}, which "
+                                       f"is not in any module"))
+                continue
+            if isinstance(op, (Constant, GlobalVariable)):
+                continue
+            if isinstance(op, BasicBlock):
+                if id(op) not in member_ids:
+                    diags.append(error("verifier.foreign-block", name, where,
+                                       f"operand {op.short_name()} is not a "
+                                       f"block of this function"))
+                continue
+            if isinstance(op, Argument):
+                if id(op) not in defuse.argument_ids:
+                    diags.append(error("verifier.foreign-argument", name, where,
+                                       f"operand {op.short_name()} is not an "
+                                       f"argument of this function"))
+                continue
+            if isinstance(op, Instruction):
+                def_site = defuse.definition_site(op)
+                if def_site is None:
+                    diags.append(error("verifier.foreign-value", name, where,
+                                       f"operand {op.short_name()} is not "
+                                       f"defined in this function"))
+                    continue
+                if not use_reachable:
+                    continue  # dominance is vacuous in unreachable code
+                def_block, _ = def_site
+                if id(def_block) not in analysis.reachable:
+                    diags.append(error("verifier.use-before-def", name, where,
+                                       f"operand {op.short_name()} is defined "
+                                       f"in unreachable block {def_block.name}"))
+                    continue
+                if inst.is_phi:
+                    if op_index % 2 == 0 and op_index + 1 < len(inst.operands):
+                        incoming = inst.operands[op_index + 1]
+                        if isinstance(incoming, BasicBlock) and \
+                                id(incoming) in member_ids:
+                            end = len(incoming.instructions)
+                            if not analysis.dominates_use(def_site, incoming, end):
+                                diags.append(error(
+                                    "verifier.use-before-def", name, where,
+                                    f"phi incoming {op.short_name()} does not "
+                                    f"dominate the end of {incoming.name}"))
+                    continue
+                if not analysis.dominates_use(def_site, block, index) and \
+                        not self._gated_use_ok(analysis, inst, op_index,
+                                               def_site, block, index):
+                    diags.append(error(
+                        "verifier.use-before-def", name, where,
+                        f"definition of {op.short_name()} in {def_site[0].name} "
+                        f"does not dominate this use"))
+
+        if inst.is_phi:
+            diags.extend(self._check_phi_shape(function, analysis, block, inst, where))
+        return diags
+
+    @staticmethod
+    def _gated_use_ok(analysis: FunctionAnalysis, inst: Instruction,
+                      op_index: int, def_site, use_block, use_index: int) -> bool:
+        """Gated (predicated) dominance — the SSA relaxation the merge
+        codegen relies on.
+
+        Merged bodies guard unaligned segments behind an ``i1`` argument
+        (``%func_id``) that is fixed for a whole execution, and join the
+        two sides with ``select %func_id, %l, %r``.  A value defined in one
+        guard arm therefore *is* available at any later same-side point,
+        even though the plain dominator tree says otherwise.  Statically:
+
+        The check enumerates joint truth assignments of the guard
+        predicates (remerged functions nest one per merge generation) and
+        requires that under *every* assignment the use is either
+        unreachable or dominated by the definition in the correspondingly
+        restricted CFG.  Every concrete execution follows some assignment,
+        and each restricted CFG over-approximates that assignment's paths,
+        so the rule is sound; enumerating only the first
+        ``_MAX_GATED_PREDICATES`` predicates keeps it conservative (never
+        accepts more) while bounding the cost.  A select arm additionally
+        pins the select's own predicate to the arm's polarity, since the
+        arm's value is only observed when that polarity is taken.
+        """
+        pinned: dict = {}
+        if inst.opcode == "select" and op_index in (1, 2):
+            cond = inst.operands[0]
+            if isinstance(cond, Argument) and cond.type == ty.I1:
+                # a select arm is only *observed* when its polarity is
+                # taken, so its own predicate can be pinned to the arm
+                pinned[cond] = (op_index == 1)
+        free = [p for p in analysis.branch_predicates
+                if p not in pinned][:_MAX_GATED_PREDICATES]
+        if not pinned and not free:
+            return False
+        for combo in itertools.product((True, False), repeat=len(free)):
+            assignment = dict(pinned)
+            assignment.update(zip(free, combo))
+            if not analysis.predicated(assignment).valid_use(
+                    def_site, use_block, use_index):
+                return False
+        return True
+
+    def _check_phi_shape(self, function: Function, analysis: FunctionAnalysis,
+                         block: BasicBlock, inst: Instruction,
+                         where: str) -> List[AnalysisDiagnostic]:
+        name = function.name
+        diags: List[AnalysisDiagnostic] = []
+        if len(inst.operands) % 2 != 0:
+            diags.append(error("verifier.phi-shape", name, where,
+                               "phi operand list must be (value, block) pairs"))
+            return diags
+        incoming_ids = set()
+        for k in range(1, len(inst.operands), 2):
+            incoming = inst.operands[k]
+            if not isinstance(incoming, BasicBlock):
+                diags.append(error("verifier.phi-shape", name, where,
+                                   f"phi incoming #{k // 2} is not a block"))
+                return diags
+            incoming_ids.add(id(incoming))
+        pred_ids = {id(p) for p in block.predecessors()}
+        if id(block) in analysis.reachable and incoming_ids != pred_ids:
+            missing = [p.name for p in block.predecessors()
+                       if id(p) not in incoming_ids]
+            extra = [inst.operands[k].name for k in range(1, len(inst.operands), 2)
+                     if id(inst.operands[k]) not in pred_ids]
+            detail = []
+            if missing:
+                detail.append(f"missing predecessors {missing}")
+            if extra:
+                detail.append(f"non-predecessor incomings {extra}")
+            diags.append(error("cfg.phi-predecessors", name, where,
+                               "phi incoming blocks do not match the "
+                               "predecessor set (" + "; ".join(detail) + ")"))
+        return diags
+
+    def _check_extended_types(self, function: Function, inst: Instruction,
+                              name: str, where: str) -> List[AnalysisDiagnostic]:
+        """Typing rules the structural verifier does not cover: casts,
+        switch, gep/alloca shapes, result types."""
+        diags: List[AnalysisDiagnostic] = []
+        op = inst.opcode
+
+        def bad(msg: str) -> None:
+            diags.append(error("verifier.type", name, where, msg))
+
+        if inst.is_cast:
+            src, dst = inst.operands[0].type, inst.type
+            if op == "bitcast":
+                if not ty.can_losslessly_bitcast(src, dst):
+                    bad(f"bitcast between incompatible types ({src} vs {dst})")
+            elif op in _INT_TO_INT_CASTS:
+                if not (src.is_integer and dst.is_integer):
+                    bad(f"{op} requires integer types ({src} -> {dst})")
+                elif op in _WIDENING_CASTS and src.bits >= dst.bits:
+                    bad(f"{op} must widen ({src} -> {dst})")
+                elif op in _NARROWING_CASTS and src.bits <= dst.bits:
+                    bad(f"{op} must narrow ({src} -> {dst})")
+            elif op in ("fptrunc", "fpext"):
+                if not (src.is_float and dst.is_float):
+                    bad(f"{op} requires float types ({src} -> {dst})")
+                elif op == "fpext" and src.bits >= dst.bits:
+                    bad(f"fpext must widen ({src} -> {dst})")
+                elif op == "fptrunc" and src.bits <= dst.bits:
+                    bad(f"fptrunc must narrow ({src} -> {dst})")
+            elif op in ("sitofp", "uitofp"):
+                if not (src.is_integer and dst.is_float):
+                    bad(f"{op} requires int -> float ({src} -> {dst})")
+            elif op in ("fptosi", "fptoui"):
+                if not (src.is_float and dst.is_integer):
+                    bad(f"{op} requires float -> int ({src} -> {dst})")
+            elif op == "ptrtoint":
+                if not (src.is_pointer and dst.is_integer):
+                    bad(f"ptrtoint requires pointer -> int ({src} -> {dst})")
+            elif op == "inttoptr":
+                if not (src.is_integer and dst.is_pointer):
+                    bad(f"inttoptr requires int -> pointer ({src} -> {dst})")
+        elif op == "switch":
+            if not inst.operands:
+                bad("switch with no operands")
+            else:
+                cond = inst.operands[0]
+                if not cond.type.is_integer:
+                    bad(f"switch condition must be an integer ({cond.type})")
+                if len(inst.operands) < 2 or len(inst.operands) % 2 != 0:
+                    bad("switch operand list must be cond, default, (value, block)*")
+                else:
+                    for k in range(2, len(inst.operands), 2):
+                        case_value, target = inst.operands[k], inst.operands[k + 1]
+                        if not isinstance(case_value, Constant) or \
+                                case_value.type != cond.type:
+                            bad(f"switch case #{(k - 2) // 2} value must be a "
+                                f"{cond.type} constant")
+                        if not isinstance(target, BasicBlock):
+                            bad(f"switch case #{(k - 2) // 2} target must be a block")
+        elif op == "gep":
+            if not inst.operands[0].type.is_pointer:
+                bad("gep base is not a pointer")
+        elif op == "alloca":
+            if not inst.type.is_pointer:
+                bad("alloca result must be a pointer")
+        elif op in ("icmp", "fcmp"):
+            if inst.type != ty.I1:
+                bad(f"{op} result must be i1, not {inst.type}")
+            if inst.operands:
+                a = inst.operands[0]
+                if op == "icmp" and not (a.type.is_integer or a.type.is_pointer):
+                    bad(f"icmp operands must be integers or pointers ({a.type})")
+                if op == "fcmp" and not a.type.is_float:
+                    bad(f"fcmp operands must be floats ({a.type})")
+        elif inst.is_binary:
+            if inst.operands and inst.type != inst.operands[0].type:
+                bad(f"binary result type {inst.type} differs from operand "
+                    f"type {inst.operands[0].type}")
+        elif op == "select":
+            if len(inst.operands) == 3 and inst.type != inst.operands[1].type:
+                bad(f"select result type {inst.type} differs from its arms")
+        elif op == "freeze":
+            if inst.operands and inst.type != inst.operands[0].type:
+                bad("freeze must preserve its operand type")
+        elif op in ("call", "invoke"):
+            callee = inst.operands[0] if inst.operands else None
+            if callee is not None and not isinstance(callee, Function) and \
+                    not callee.type.is_pointer:
+                bad(f"{op} callee must be a function or function pointer")
+        return diags
+
+
+# -- module-level convenience entry points ----------------------------------
+
+def verify_function_v2(function: Function,
+                       cache: Optional[AnalysisCache] = None) -> List[AnalysisDiagnostic]:
+    return Verifier(cache).verify_function(function)
+
+
+def verify_module_v2(module: Module,
+                     cache: Optional[AnalysisCache] = None) -> List[AnalysisDiagnostic]:
+    return Verifier(cache).verify_module(module)
+
+
+def verify_module_or_raise(module: Module,
+                           cache: Optional[AnalysisCache] = None,
+                           context: str = "") -> List[AnalysisDiagnostic]:
+    """Verify with v2 and raise :class:`AnalysisError` on any
+    error-severity finding; returns the (possibly warning-only) list."""
+    diags = verify_module_v2(module, cache)
+    if errors_of(diags):
+        raise AnalysisError(diags, context=context)
+    return diags

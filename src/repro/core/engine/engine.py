@@ -31,6 +31,7 @@ import os
 from collections import deque
 from typing import Callable, Dict, List, Optional, Union
 
+from ...analysis.sanitizer import Sanitizer
 from ...ir.callgraph import CallGraph
 from ...ir.function import Function
 from ...ir.module import Module
@@ -91,7 +92,9 @@ class MergeEngine:
                  incremental_callgraph: bool = True,
                  oracle_prune: bool = True,
                  incremental_fingerprints: bool = True,
-                 verify_fingerprints: Optional[bool] = None):
+                 verify_fingerprints: Optional[bool] = None,
+                 sanitize: Optional[bool] = None,
+                 sanitizer: Optional["Sanitizer"] = None):
         """Create the engine.
 
         Args:
@@ -200,6 +203,21 @@ class MergeEngine:
                 against a from-scratch ``Fingerprint.of`` after each commit
                 (defaults to the ``REPRO_VERIFY_FINGERPRINTS`` environment
                 variable; the test suite turns it on).
+            sanitize: run the static-analysis sanitizer (verifier v2 + the
+                merge-correctness linter, :mod:`repro.analysis`) at stage
+                boundaries: after every committed merge and at the end of
+                each run.  A violation raises
+                :class:`~repro.analysis.AnalysisError` - a sanitizer
+                finding is always an engine bug, never a property of the
+                input.  Defaults to the ``REPRO_SANITIZE`` environment
+                variable.  Decisions are bit-identical with the sanitizer
+                on or off; the counters land in
+                ``MergeReport.scheduler_stats`` (``sanitize_runs``,
+                ``sanitize_violations``, ``sanitize_wall_seconds``).
+            sanitizer: inject a pre-built
+                :class:`~repro.analysis.Sanitizer` (the daemon shares one
+                across warm passes so its ``stats`` response can aggregate
+                the counters); implies ``sanitize=True``.
         """
         self.target = target or X86_64
         self.exploration_threshold = max(1, exploration_threshold)
@@ -226,6 +244,12 @@ class MergeEngine:
             verify_fingerprints = value.strip().lower() not in (
                 "", "0", "false", "no", "off")
         self.verify_fingerprints = verify_fingerprints
+        if sanitizer is not None:
+            self.sanitizer: Optional[Sanitizer] = sanitizer
+        else:
+            if sanitize is None:
+                sanitize = _env_flag("REPRO_SANITIZE")
+            self.sanitizer = Sanitizer() if sanitize else None
 
         if isinstance(searcher, str):
             searcher = make_searcher(searcher,
@@ -540,6 +564,8 @@ class MergeEngine:
         for original in (result.function1, result.function2):
             for caller in call_graph.callers_of(original):
                 self.linearize.invalidate(caller.name)
+                if self.sanitizer is not None:
+                    self.sanitizer.invalidate(caller.name)
 
         # compute the merged fingerprint *before* the commit: applying the
         # merge thunks/rewrites the originals' bodies (a deleted original
@@ -559,6 +585,8 @@ class MergeEngine:
             self._available.discard(name)
             self.fingerprint.remove_function(name)
             self.linearize.invalidate(name)
+            if self.sanitizer is not None:
+                self.sanitizer.invalidate(name)
         for name in applied.rewritten_callers:
             self.fingerprint.invalidate_live(name)
 
@@ -594,6 +622,9 @@ class MergeEngine:
             original_sizes=original_instruction_counts,
             merged_size=merged.instruction_count(),
             extra_dynamic_ops=extra_ops))
+
+        if self.sanitizer is not None:
+            self.sanitizer.after_commit(module, result, applied, call_graph)
 
         return CommitEvents(
             consumed=(name1, name2), merged_name=applied.merged_name,
@@ -658,6 +689,11 @@ class MergeEngine:
         for stage in self.stages:
             stage.reset()
         self.linearize.clear()
+        if self.sanitizer is not None:
+            # analyses describe the previous module's bodies; a daemon's
+            # shared sanitizer keeps its *counters* across runs, only the
+            # per-function dataflow results are dropped
+            self.sanitizer.cache.clear()
         if self.align_cache is not None and not self.alignment_cache_resident:
             # canonical content addressing keeps entries *correct* across
             # runs, but per-run stats argue for a reset; cross-run reuse
@@ -722,6 +758,9 @@ class MergeEngine:
                 # caches persist on their owner's schedule instead.
                 self.align_cache.save(self.alignment_cache_path)
             report.scheduler_stats.update(self.align_cache.stats_dict())
+        if self.sanitizer is not None:
+            self.sanitizer.after_run(module, call_graph)
+            report.scheduler_stats.update(self.sanitizer.stats())
         report.stage_times = self._legacy_stage_times()
         report.stage_stats = self.stage_stats()
         return report

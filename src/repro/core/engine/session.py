@@ -86,11 +86,11 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ...ir.callgraph import CallGraph
-from ...ir.clone import clone_function_detached, transplant_body
+from ...ir.clone import transplant_body
 from ...ir.function import Function
 from ...ir.module import Module
 from ...passes.reg2mem import demote_phis
@@ -339,6 +339,8 @@ class MergeSession:
         for stage in engine.stages:
             stage.reset()
         engine.linearize.clear()
+        if engine.sanitizer is not None:
+            engine.sanitizer.cache.clear()
         if engine.align_cache is not None \
                 and not engine.alignment_cache_resident:
             # resident caches are owned (and persisted) by a long-lived
@@ -576,6 +578,16 @@ class MergeSession:
                     order=self._base_order[name])
             else:  # not indexed (too small / hot): just drop stale state
                 engine.fingerprint.invalidate_live(name)
+        if engine.sanitizer is not None:
+            for name in merged_names:
+                engine.sanitizer.invalidate(name)
+            for name in restore:
+                engine.sanitizer.invalidate(name)
+            # the transplants must restore the exact pre-merge bodies: every
+            # touched function re-verifies and prints bit-identically to its
+            # shadow copy
+            engine.sanitizer.after_rollback(self.module, self._shadow,
+                                            sorted(restore))
         self._commits = []
 
     # -- edits ------------------------------------------------------------------
@@ -742,6 +754,9 @@ class MergeSession:
             engine.candidate_search.stats.counters.get("rank_reuse_hits", 0))
         if engine.align_cache is not None:
             report.scheduler_stats.update(engine.align_cache.stats_dict())
+        if engine.sanitizer is not None:
+            engine.sanitizer.after_run(self.module, self.graph)
+            report.scheduler_stats.update(engine.sanitizer.stats())
         lin = engine.linearize.stats.counters
         linearize_hits = int(lin.get("cache_hits", 0))
         linearize_misses = int(lin.get("linearized", 0))

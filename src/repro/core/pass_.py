@@ -57,7 +57,9 @@ class FunctionMergingPass(Pass):
                  incremental_callgraph: bool = True,
                  oracle_prune: bool = True,
                  incremental_fingerprints: bool = True,
-                 verify_fingerprints: Optional[bool] = None):
+                 verify_fingerprints: Optional[bool] = None,
+                 sanitize: Optional[bool] = None,
+                 sanitizer: Optional[object] = None):
         """Create the pass.
 
         Args:
@@ -119,6 +121,10 @@ class FunctionMergingPass(Pass):
                 functions' fingerprints from the alignment columns instead
                 of rescanning bodies, optionally cross-checked against a
                 rescan after every commit (see :class:`MergeEngine`).
+            sanitize / sanitizer: run (or inject) the static-analysis
+                sanitizer - verifier v2 plus the merge-correctness linter -
+                at stage boundaries (default: the ``REPRO_SANITIZE``
+                environment variable; see :class:`MergeEngine`).
         """
         self.engine = MergeEngine(
             target=target, exploration_threshold=exploration_threshold,
@@ -135,7 +141,8 @@ class FunctionMergingPass(Pass):
             incremental_callgraph=incremental_callgraph,
             oracle_prune=oracle_prune,
             incremental_fingerprints=incremental_fingerprints,
-            verify_fingerprints=verify_fingerprints)
+            verify_fingerprints=verify_fingerprints,
+            sanitize=sanitize, sanitizer=sanitizer)
 
     # -- facade properties (historical public attributes) -----------------------
     @property

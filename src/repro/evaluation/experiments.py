@@ -24,7 +24,7 @@ Experiment     Content
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..workloads.mibench import build_mibench_benchmark, mibench_benchmark_names
 from ..workloads.spec2006 import build_spec_benchmark, spec_benchmark_names
@@ -76,6 +76,12 @@ class EvaluationSettings:
     #: ``"process"`` offloads the alignment DPs to a worker pool as pure
     #: data).  Identical merge decisions for every executor.
     executor: str = "auto"
+    #: Run the static-analysis sanitizer (verifier v2 + merge linter) at
+    #: every stage boundary of every compilation (``None`` = the
+    #: ``REPRO_SANITIZE`` environment variable).  A violation aborts the
+    #: run with :class:`repro.analysis.AnalysisError`; decisions are
+    #: bit-identical with it on or off.
+    sanitize: Optional[bool] = None
 
 
 @dataclass
@@ -169,7 +175,8 @@ def evaluate_suite(settings: Optional[EvaluationSettings] = None,
                     alignment_kernel=settings.alignment_kernel,
                     alignment_cache_path=settings.alignment_cache_path,
                     jobs=settings.jobs,
-                    executor=settings.executor)
+                    executor=settings.executor,
+                    sanitize=settings.sanitize)
                 result.technique = _config_label(config)
                 evaluation.results[(benchmark, target, result.technique)] = result
     return evaluation

@@ -22,14 +22,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..baselines.identical import IdenticalFunctionMergingPass
 from ..baselines.soa import StructuralFunctionMergingPass
 from ..core.codegen import MergeOptions
 from ..core.engine import MergeSession
 from ..core.pass_ import FunctionMergingPass, MergeReport, make_hotness_filter
-from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.printer import function_to_str
 from ..ir.verifier import verify_module
@@ -173,7 +172,9 @@ def open_compile_session(module: Module, *,
                          executor: str = "auto",
                          alignment_cache=None,
                          alignment_cache_resident: bool = False,
-                         session_executor=None) -> MergeSession:
+                         session_executor=None,
+                         sanitize: Optional[bool] = None,
+                         sanitizer=None) -> MergeSession:
     """Open a long-lived incremental merge session over ``module``.
 
     Runs the same *pre* passes ``compile_module`` applies (DCE + CFG
@@ -213,7 +214,7 @@ def open_compile_session(module: Module, *,
                          else True),
         alignment_cache_resident=alignment_cache_resident,
         alignment_cache_path=alignment_cache_path, jobs=jobs,
-        executor=executor)
+        executor=executor, sanitize=sanitize, sanitizer=sanitizer)
     return MergeSession(fmsa.engine, module, executor=session_executor)
 
 
@@ -232,7 +233,8 @@ def compile_module(module: Module, technique: str, *,
                    alignment_cache_path: Optional[str] = None,
                    jobs: Optional[int] = None,
                    executor: str = "auto",
-                   merge_pass: Optional[FunctionMergingPass] = None
+                   merge_pass: Optional[FunctionMergingPass] = None,
+                   sanitize: Optional[bool] = None
                    ) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
@@ -266,6 +268,14 @@ def compile_module(module: Module, technique: str, *,
     ignored when a pass is injected; decisions depend only on the pass's
     own configuration, so a warm pass and the equivalent cold knobs produce
     bit-identical results.
+
+    ``sanitize`` (default: the ``REPRO_SANITIZE`` environment variable)
+    runs the static-analysis sanitizer - verifier v2 plus the
+    merge-correctness linter (:mod:`repro.analysis`) - after every commit
+    and at the end of the merge run, raising
+    :class:`~repro.analysis.AnalysisError` on any violation.  Decisions
+    are bit-identical with it on or off.  Ignored when ``merge_pass`` is
+    injected (the pass's own engine configuration wins).
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -310,7 +320,7 @@ def compile_module(module: Module, technique: str, *,
                     searcher=searcher, keyed_alignment=keyed_alignment,
                     alignment_kernel=alignment_kernel,
                     alignment_cache_path=alignment_cache_path, jobs=jobs,
-                    executor=executor)
+                    executor=executor, sanitize=sanitize)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

@@ -15,7 +15,7 @@ from .basicblock import BasicBlock
 from .function import Function
 from .instructions import Instruction
 from .module import Module
-from .values import Argument, Constant, Value
+from .values import Argument, Constant
 
 
 class VerificationError(Exception):
@@ -30,11 +30,16 @@ def verify_function(function: Function) -> List[str]:
     errors: List[str] = []
     name = function.name
 
-    if function.is_declaration:
-        return errors
-
+    # argument-list consistency holds for declarations too; the early
+    # return below used to skip it, letting malformed declarations pass
     if len(function.arguments) != len(function.function_type.param_types):
         errors.append(f"{name}: argument count does not match function type")
+    for arg_index, arg in enumerate(function.arguments):
+        if arg.parent is not function:
+            errors.append(f"{name}: argument {arg_index} parent link broken")
+
+    if function.is_declaration:
+        return errors
 
     defined: set = set()
     for arg in function.arguments:
@@ -78,7 +83,20 @@ def _verify_instruction(function: Function, block: BasicBlock,
                 errors.append(f"{where}: operand {op.short_name()} defined in another function")
             continue
         # global variables and other module-level values are fine
-    # opcode specific checks
+    errors.extend(verify_instruction_types(function, block, inst, index))
+    return errors
+
+
+def verify_instruction_types(function: Function, block: BasicBlock,
+                             inst: Instruction, index: int) -> List[str]:
+    """Opcode-specific type/shape checks for one instruction.
+
+    Shared between this structural verifier and the dataflow-based
+    verifier v2 in :mod:`repro.analysis` (which layers extended cast /
+    switch / phi typing and dominance checks on top).
+    """
+    errors: List[str] = []
+    where = f"{function.name}/{block.name}[{index}] {inst.opcode}"
     op = inst.opcode
     if op == "br":
         if len(inst.operands) == 3:

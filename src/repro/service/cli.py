@@ -62,6 +62,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-payload", type=int, default=4 << 20,
                         help="request body size limit in bytes")
     parser.add_argument("--target", default="x86-64")
+    parser.add_argument("--sanitize", action="store_true", default=None,
+                        help="run the static-analysis sanitizer (verifier "
+                             "v2 + merge linter) on every request; "
+                             "violations are recorded in the stats "
+                             "counters (default: REPRO_SANITIZE)")
     args = parser.parse_args(argv)
 
     config = DaemonConfig(
@@ -73,7 +78,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         autosave_every_puts=args.autosave_every,
         autosave_interval=args.autosave_interval,
         result_cache_size=args.result_cache,
-        max_payload_bytes=args.max_payload, target=args.target)
+        max_payload_bytes=args.max_payload, target=args.target,
+        sanitize=args.sanitize)
     daemon = MergeDaemon(config)
 
     def _stop(signum, frame):

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from ..analysis.sanitizer import Sanitizer
 from ..core.codegen import MergeOptions
 from ..core.engine import AlignmentCache, PlanningError, make_executor
 from ..core.pass_ import FunctionMergingPass
@@ -98,6 +99,12 @@ class DaemonConfig:
     autosave_every_puts: int = 256
     autosave_interval: float = 30.0
     target: str = "x86-64"
+    #: Run the static-analysis sanitizer (verifier v2 + merge linter) on
+    #: every warm pass and session; violations are *recorded* (not raised)
+    #: and surface as ``sanitize_*`` counters in the ``stats`` response so
+    #: deployments can alert on them.  ``None``: the ``REPRO_SANITIZE``
+    #: environment variable.
+    sanitize: Optional[bool] = None
 
 
 class WarmContext:
@@ -120,6 +127,14 @@ class WarmContext:
                 interval_seconds=config.autosave_interval)
         self._executor = None
         self.pool_spawn_seconds = 0.0
+        sanitize = config.sanitize
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").strip().lower() \
+                not in ("", "0", "false", "no", "off")
+        #: One shared recording sanitizer for every warm pass and session:
+        #: a violation must never kill a service request, but the counters
+        #: aggregate daemon-wide and land in the ``stats`` response.
+        self.sanitizer = Sanitizer(mode="record") if sanitize else None
         self._passes: Dict[tuple, FunctionMergingPass] = {}
         self.engine_lock = threading.Lock()
         self.counters: Dict[str, int] = {
@@ -200,7 +215,9 @@ class WarmContext:
             alignment_cache=self.cache,
             alignment_cache_resident=True,
             jobs=self._resolve_jobs(),
-            executor=self.config.executor)
+            executor=self.config.executor,
+            sanitize=self.sanitizer is not None,
+            sanitizer=self.sanitizer)
         with self._lock:
             self._passes[signature] = pass_
         return False, pass_
@@ -480,6 +497,9 @@ class MergeDaemon:
                     warm, merge_pass = self.context.warm_pass(signature)
                     executor = self.context.lease_executor()
                     merge_pass.engine.executor_kind = executor
+                    sanitizer = self.context.sanitizer
+                    violations_before = (sanitizer.violations
+                                         if sanitizer is not None else 0)
                     compile_start = time.perf_counter()
                     result = compile_module(
                         module, technique,
@@ -513,6 +533,10 @@ class MergeDaemon:
             "decisions": decisions,
             "warm": warm,
             "result_cache_hit": False,
+            "sanitize_violations": (self.context.sanitizer.violations
+                                    - violations_before
+                                    if self.context.sanitizer is not None
+                                    else None),
             "timings": {
                 "decode_seconds": round(decode_seconds, 6),
                 "compile_seconds": round(compile_seconds, 6),
@@ -552,7 +576,9 @@ class MergeDaemon:
                     jobs=self.context._resolve_jobs(),
                     alignment_cache=self.context.cache,
                     alignment_cache_resident=True,
-                    session_executor=self.context.lease_executor)
+                    session_executor=self.context.lease_executor,
+                    sanitize=self.context.sanitizer is not None,
+                    sanitizer=self.context.sanitizer)
                 break
             except PlanningError:
                 self.context.note_worker_failure()
@@ -648,6 +674,9 @@ class MergeDaemon:
             self.context.cache_load_seconds, 6)
         stats["pool_spawn_seconds"] = round(
             self.context.pool_spawn_seconds, 6)
+        stats["sanitize_enabled"] = self.context.sanitizer is not None
+        if self.context.sanitizer is not None:
+            stats.update(self.context.sanitizer.stats())
         stats["uptime_seconds"] = round(time.monotonic() - self.started, 3)
         stats["queue_limit"] = self.config.queue_limit
         with self._result_cache_lock:

@@ -1,0 +1,29 @@
+"""repro-lint CLI tests."""
+
+import json
+
+from repro.analysis.cli import lint_main
+
+
+def test_lint_single_workload(capsys):
+    assert lint_main(["mibench:rijndael"]) == 0
+    out = capsys.readouterr().out
+    assert "mibench:rijndael: ok" in out
+
+
+def test_lint_with_merge_and_json(capsys):
+    assert lint_main(["case:libquantum", "--merge", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 0
+    assert payload["targets"]
+
+
+def test_lint_family_expansion(capsys):
+    assert lint_main(["case"]) == 0
+    out = capsys.readouterr().out
+    assert "3 target(s)" in out
+
+
+def test_unknown_target_is_an_error(capsys):
+    assert lint_main(["mibench:no-such-benchmark"]) == 2
+    assert "no-such-benchmark" in capsys.readouterr().err

@@ -1,0 +1,197 @@
+"""Tests for the dataflow layer: CHK dominator tree, def-use chains,
+liveness, predicated dominance, and the analysis cache."""
+
+import pytest
+
+from repro.analysis import AnalysisCache, DefUseChains, DominatorTree, Liveness
+from repro.analysis.dataflow import FunctionAnalysis
+from repro.ir import IRBuilder, Module, cfg
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.workloads.case_studies import case_study_module
+from repro.workloads.mibench import build_mibench_benchmark
+
+
+def _diamond():
+    module = Module()
+    function = module.create_function(
+        "diamond", ty.function_type(ty.I32, [ty.I32]), arg_names=["x"])
+    entry = function.append_block("entry")
+    left = function.append_block("left")
+    right = function.append_block("right")
+    join = function.append_block("join")
+    builder = IRBuilder(entry)
+    slot = builder.alloca(ty.I32, "slot")
+    cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+    builder.cond_br(cond, left, right)
+    lb = IRBuilder(left)
+    lb.store(vals.const_int(1), slot)
+    lb.br(join)
+    rb = IRBuilder(right)
+    rb.store(vals.const_int(2), slot)
+    rb.br(join)
+    jb = IRBuilder(join)
+    jb.ret(jb.load(slot))
+    return function, (entry, left, right, join)
+
+
+class TestDominatorTree:
+    def test_diamond_idoms(self):
+        function, (entry, left, right, join) = _diamond()
+        tree = DominatorTree(function)
+        assert tree.immediate_dominator(entry) is None
+        assert tree.immediate_dominator(left) is entry
+        assert tree.immediate_dominator(right) is entry
+        assert tree.immediate_dominator(join) is entry
+        assert tree.depth(entry) == 0
+        assert tree.depth(join) == 1
+
+    def test_dominates_is_reflexive_and_respects_structure(self):
+        function, (entry, left, right, join) = _diamond()
+        tree = DominatorTree(function)
+        assert tree.dominates(entry, join)
+        assert tree.dominates(join, join)
+        assert not tree.dominates(left, join)
+        assert not tree.dominates(join, entry)
+        assert tree.strictly_dominates(entry, left)
+        assert not tree.strictly_dominates(entry, entry)
+
+    def test_valid_use_same_block_ordering(self):
+        function, (entry, left, right, join) = _diamond()
+        tree = DominatorTree(function)
+        assert tree.valid_use((entry, 0), entry, 1)
+        assert not tree.valid_use((entry, 1), entry, 0)
+        assert tree.valid_use((entry, 0), join, 0)
+        assert not tree.valid_use((left, 0), join, 0)
+
+    def test_unreachable_block_queries(self):
+        function, (entry, left, right, join) = _diamond()
+        dead = function.append_block("dead")
+        IRBuilder(dead).ret(vals.const_int(0))
+        tree = DominatorTree(function)
+        assert not tree.is_reachable(dead)
+        assert tree.immediate_dominator(dead) is None
+        assert not tree.dominates(entry, dead)
+        # a use inside unreachable code is vacuously valid, a def inside
+        # unreachable code never reaches live code
+        assert tree.valid_use((entry, 0), dead, 0)
+        assert not tree.valid_use((dead, 0), join, 0)
+
+    @pytest.mark.parametrize("bench_name", ["bitcount", "sha"])
+    def test_matches_classic_dominator_sets_on_mibench(self, bench_name):
+        module = build_mibench_benchmark(bench_name).module
+        self._cross_check_module(module)
+
+    @pytest.mark.parametrize("name", ["sphinx", "libquantum", "rijndael"])
+    def test_matches_classic_dominator_sets_on_case_studies(self, name):
+        self._cross_check_module(case_study_module(name))
+
+    @staticmethod
+    def _cross_check_module(module):
+        checked = 0
+        for function in module.defined_functions():
+            tree = DominatorTree(function)
+            classic = cfg.compute_dominators(function)
+            reachable = cfg.reachable_blocks(function)
+            chk_sets = tree.dominator_sets()
+            for block in function.blocks:
+                if id(block) not in reachable:
+                    continue
+                want = {b for b in classic[block] if id(b) in reachable}
+                assert chk_sets[block] == want, \
+                    f"{function.name}/{block.name}: CHK disagrees with " \
+                    f"classic dominator sets"
+                checked += 1
+        assert checked > 0
+
+
+class TestDefUseChains:
+    def test_definition_sites_and_users(self):
+        function, (entry, left, right, join) = _diamond()
+        chains = DefUseChains(function)
+        slot = entry.instructions[0]
+        assert chains.definition_site(slot) == (entry, 0)
+        users = chains.users_of(slot)
+        assert len(users) == 3  # two stores and the load
+        assert chains.definition_site(function.arguments[0]) is None
+        assert id(function.arguments[0]) in chains.argument_ids
+        assert chains.users_of(vals.const_int(0)) == []
+
+
+class TestLiveness:
+    def test_cross_block_value_is_live_across(self):
+        function, (entry, left, right, join) = _diamond()
+        live = Liveness(function)
+        slot = entry.instructions[0]       # used in left/right/join
+        cond = entry.instructions[1]       # consumed by the branch only
+        assert live.live_across(slot)
+        assert not live.live_across(cond)
+        assert id(slot) in live.live_in[id(join)]
+
+
+class TestPredicatedDominance:
+    def test_gated_definition_dominates_under_its_polarity(self):
+        module = Module()
+        function = module.create_function(
+            "gated", ty.function_type(ty.I32, [ty.I32, ty.I1]),
+            arg_names=["a", "p"])
+        a, p = function.arguments
+        entry = function.append_block("entry")
+        guarded = function.append_block("guarded")
+        other = function.append_block("other")
+        join = function.append_block("join")
+        IRBuilder(entry).cond_br(p, guarded, other)
+        gb = IRBuilder(guarded)
+        x = gb.add(a, vals.const_int(1), "x")
+        gb.br(join)
+        IRBuilder(other).br(join)
+        IRBuilder(join).ret(a)
+
+        analysis = FunctionAnalysis(function)
+        assert analysis.branch_predicates == [p]
+        # plain dominance: the guarded def does not dominate the join
+        assert not analysis.domtree.dominates(guarded, join)
+        # predicated on p=True the branch folds to the guarded edge
+        true_tree = analysis.predicated({p: True})
+        assert true_tree.dominates(guarded, join)
+        assert true_tree.valid_use((guarded, 0), join, 0)
+        # ... and on p=False the def is unreachable, the use is not
+        false_tree = analysis.predicated({p: False})
+        assert not false_tree.is_reachable(guarded)
+        assert not false_tree.valid_use((guarded, 0), join, 0)
+        # trees are cached per assignment
+        assert analysis.predicated({p: True}) is true_tree
+
+
+class TestAnalysisCache:
+    def test_hit_miss_and_invalidate(self):
+        function, _ = _diamond()
+        cache = AnalysisCache()
+        first = cache.get(function)
+        assert cache.get(function) is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+        cache.invalidate(function.name)
+        assert cache.invalidations == 1
+        assert cache.get(function) is not first
+        # invalidating an unknown name is a no-op
+        cache.invalidate("no-such-function")
+        assert cache.invalidations == 1
+
+    def test_body_mutation_misses(self):
+        function, (entry, left, right, join) = _diamond()
+        cache = AnalysisCache()
+        first = cache.get(function)
+        extra = function.append_block("extra")
+        IRBuilder(extra).ret(vals.const_int(7))
+        assert cache.get(function) is not first
+
+    def test_stats_keys(self):
+        cache = AnalysisCache()
+        stats = cache.stats()
+        assert set(stats) == {"analysis_cache_hits", "analysis_cache_misses",
+                              "analysis_cache_invalidations"}
+        function, _ = _diamond()
+        cache.get(function)
+        assert len(cache) == 1
+        assert list(cache) == [function.name]

@@ -1,0 +1,159 @@
+"""Merge-correctness linter tests.
+
+Each test commits a real merge through ``merge_functions`` + ``apply_merge``
+and then either checks the clean commit lints quietly or tampers with one
+of the engine's promises and asserts the matching ``mergelint.*`` rule."""
+
+from repro.analysis import errors_of, lint_callgraph, lint_commit, lint_module
+from repro.core import apply_merge, merge_functions
+from repro.ir import IRBuilder, Module
+from repro.ir import types as ty
+from repro.ir import values as vals
+from repro.ir.callgraph import CallGraph
+from tests.helpers import make_binary_chain_function
+
+
+def _rules(diagnostics):
+    return {d.rule for d in errors_of(diagnostics)}
+
+
+def _merged_with_thunks():
+    """Merge two externally visible functions: both originals survive as
+    thunks (deletion is unsafe for external linkage)."""
+    module = Module()
+    f1 = make_binary_chain_function(module, "f1", ["add", "mul", "sub"],
+                                    linkage="external")
+    f2 = make_binary_chain_function(module, "f2", ["add", "xor", "sub"],
+                                    linkage="external")
+    graph = CallGraph(module)
+    result = merge_functions(f1, f2)
+    assert result is not None
+    applied = apply_merge(module, result, call_graph=graph)
+    return module, graph, result, applied
+
+
+def _merged_with_deletion():
+    """Merge two internal, uncalled functions: the originals are deleted."""
+    module = Module()
+    f1 = make_binary_chain_function(module, "g1", ["add", "mul", "sub"])
+    f2 = make_binary_chain_function(module, "g2", ["add", "xor", "sub"])
+    graph = CallGraph(module)
+    result = merge_functions(f1, f2)
+    assert result is not None
+    applied = apply_merge(module, result, call_graph=graph)
+    return module, graph, result, applied, (f1, f2)
+
+
+class TestCleanCommits:
+    def test_thunked_commit_is_clean(self):
+        module, graph, result, applied = _merged_with_thunks()
+        assert applied.disposition == ["thunk", "thunk"]
+        diags = lint_commit(module, result, applied, graph)
+        assert errors_of(diags) == [], "\n".join(map(str, diags))
+        assert errors_of(lint_module(module, graph)) == []
+
+    def test_deleted_commit_is_clean(self):
+        module, graph, result, applied, _ = _merged_with_deletion()
+        assert applied.disposition == ["deleted", "deleted"]
+        diags = lint_commit(module, result, applied, graph)
+        assert errors_of(diags) == [], "\n".join(map(str, diags))
+
+
+class TestThunkLints:
+    def test_tampered_thunk_argument(self):
+        module, graph, result, applied = _merged_with_thunks()
+        thunk = module.get_function(applied.function1)
+        call = thunk.blocks[0].instructions[0]
+        # overwrite a forwarded parameter with a constant: the argument
+        # list no longer matches what call_arguments derives
+        for index, op in enumerate(call.operands[1:], start=1):
+            if op in list(thunk.arguments):
+                call.set_operand(index, vals.const_int(42, op.type.bits))
+                break
+        else:  # pragma: no cover - merge shape changed
+            raise AssertionError("thunk forwards no parameter")
+        diags = lint_commit(module, result, applied, graph)
+        assert "mergelint.thunk-signature" in _rules(diags)
+
+    def test_retargeted_thunk_callee(self):
+        module, graph, result, applied = _merged_with_thunks()
+        thunk = module.get_function(applied.function1)
+        other = module.get_function(applied.function2)
+        call = thunk.blocks[0].instructions[0]
+        call.set_operand(0, other)
+        diags = lint_commit(module, result, applied)
+        assert "mergelint.thunk-callee" in _rules(diags)
+
+    def test_multi_block_thunk_shape(self):
+        module, graph, result, applied = _merged_with_thunks()
+        thunk = module.get_function(applied.function1)
+        extra = thunk.append_block("extra")
+        IRBuilder(extra).ret(vals.undef(thunk.return_type))
+        diags = lint_commit(module, result, applied)
+        assert "mergelint.thunk-shape" in _rules(diags)
+
+    def test_wrong_discriminator_constant(self):
+        module, graph, result, applied = _merged_with_thunks()
+        if not result.uses_func_id:
+            return  # merge was total; nothing to discriminate
+        thunk = module.get_function(applied.function1)
+        call = thunk.blocks[0].instructions[0]
+        for index, param in enumerate(result.merged.arguments):
+            if param is result.func_id:
+                call.set_operand(index + 1,
+                                 result.func_id_constant(1))  # wrong side
+                break
+        diags = lint_commit(module, result, applied)
+        assert "mergelint.thunk-signature" in _rules(diags)
+
+
+class TestModuleLints:
+    def test_merged_missing(self):
+        module, graph, result, applied = _merged_with_thunks()
+        module.remove_function(result.merged)
+        diags = lint_commit(module, result, applied)
+        assert "mergelint.merged-missing" in _rules(diags)
+
+    def test_deleted_original_resurrected(self):
+        module, graph, result, applied, (f1, f2) = _merged_with_deletion()
+        module.add_function(f1)  # re-register the deleted original
+        diags = lint_commit(module, result, applied)
+        assert "mergelint.deleted-survives" in _rules(diags)
+
+    def test_dangling_reference_to_removed_function(self):
+        module, graph, result, applied, (f1, f2) = _merged_with_deletion()
+        host = module.create_function(
+            "host", ty.function_type(f1.return_type,
+                                     [a.type for a in f1.arguments]))
+        block = host.append_block("entry")
+        builder = IRBuilder(block)
+        builder.ret(builder.call(f1, list(host.arguments), "c"))
+        diags = lint_module(module)
+        assert "mergelint.dangling-reference" in _rules(diags)
+
+
+class TestCallGraphLints:
+    def test_stale_edges_after_unregistered_mutation(self):
+        module, graph, result, applied = _merged_with_thunks()
+        # mutate the module behind the graph's back: a new caller of the
+        # merged function that the incremental graph never saw
+        sneaky = module.create_function(
+            "sneaky", ty.function_type(ty.I32, [ty.I32]))
+        block = sneaky.append_block("entry")
+        builder = IRBuilder(block)
+        args = [vals.undef(a.type) for a in result.merged.arguments]
+        call = builder.call(result.merged, args, "c")
+        builder.ret(builder.trunc(call, ty.I32)
+                    if call.type != ty.I32 else call)
+        diags = lint_callgraph(module, graph)
+        assert "mergelint.callgraph-edges" in _rules(diags)
+
+    def test_spurious_address_taken_entry(self):
+        module, graph, result, applied = _merged_with_thunks()
+        graph.address_taken.add("no-such-function")
+        diags = lint_callgraph(module, graph)
+        assert "mergelint.address-taken" in _rules(diags)
+
+    def test_accurate_graph_is_clean(self):
+        module, graph, result, applied = _merged_with_thunks()
+        assert errors_of(lint_callgraph(module, graph)) == []

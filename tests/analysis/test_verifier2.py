@@ -1,0 +1,252 @@
+"""Verifier v2 tests: clean modules pass, seeded defects are diagnosed.
+
+Each mutation test starts from a well-formed function, breaks exactly one
+invariant through the raw IR APIs, and asserts the matching rule fires.
+"""
+
+import pytest
+
+from repro.analysis import (AnalysisError, errors_of, verify_function_v2,
+                            verify_module_or_raise, verify_module_v2,
+                            warnings_of)
+from repro.core import merge_functions, apply_merge
+from repro.ir import IRBuilder, Module
+from repro.ir import types as ty
+from repro.ir import values as vals
+from tests.helpers import make_binary_chain_function
+
+
+def _diamond(module=None, name="diamond"):
+    module = module or Module()
+    function = module.create_function(
+        name, ty.function_type(ty.I32, [ty.I32]), arg_names=["x"])
+    entry = function.append_block("entry")
+    left = function.append_block("left")
+    right = function.append_block("right")
+    join = function.append_block("join")
+    builder = IRBuilder(entry)
+    cond = builder.icmp("sgt", function.arguments[0], vals.const_int(0))
+    builder.cond_br(cond, left, right)
+    lb = IRBuilder(left)
+    lv = lb.add(function.arguments[0], vals.const_int(1), "lv")
+    lb.br(join)
+    rb = IRBuilder(right)
+    rv = rb.add(function.arguments[0], vals.const_int(2), "rv")
+    rb.br(join)
+    jb = IRBuilder(join)
+    phi = jb.phi(ty.I32, "merged")
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    jb.ret(phi)
+    return module, function
+
+
+def _rules(diagnostics):
+    return {d.rule for d in errors_of(diagnostics)}
+
+
+class TestCleanModules:
+    def test_diamond_is_clean(self):
+        module, function = _diamond()
+        assert errors_of(verify_function_v2(function)) == []
+        assert errors_of(verify_module_v2(module)) == []
+        verify_module_or_raise(module)  # must not raise
+
+    def test_declaration_is_clean(self):
+        module = Module()
+        module.create_function("ext", ty.function_type(ty.I32, [ty.I32]))
+        assert errors_of(verify_module_v2(module)) == []
+
+    def test_merged_function_is_clean(self):
+        module = Module()
+        f1 = make_binary_chain_function(module, "f1", ["add", "mul", "sub"])
+        f2 = make_binary_chain_function(module, "f2", ["add", "xor", "sub"])
+        result = merge_functions(f1, f2)
+        assert result is not None
+        apply_merge(module, result)
+        diags = verify_module_v2(module)
+        assert errors_of(diags) == [], "\n".join(map(str, errors_of(diags)))
+
+
+class TestSeededCfgDefects:
+    def test_entry_with_predecessor(self):
+        module, function = _diamond()
+        entry, left = function.blocks[0], function.blocks[1]
+        # retarget left's terminator back at the entry block
+        left.instructions[-1].set_operand(0, entry)
+        diags = verify_function_v2(function)
+        assert "cfg.entry-predecessor" in _rules(diags)
+
+    def test_unreachable_block_is_warning_not_error(self):
+        module, function = _diamond()
+        dead = function.append_block("dead")
+        IRBuilder(dead).ret(vals.const_int(0))
+        diags = verify_function_v2(function)
+        assert errors_of(diags) == []
+        assert "cfg.unreachable-block" in {d.rule for d in warnings_of(diags)}
+
+    def test_foreign_successor(self):
+        module, function = _diamond()
+        other_module, other = _diamond(name="other")
+        function.blocks[1].instructions[-1].set_operand(0, other.blocks[3])
+        diags = verify_function_v2(function)
+        assert "cfg.foreign-successor" in _rules(diags)
+
+    def test_missing_terminator(self):
+        module, function = _diamond()
+        join = function.blocks[3]
+        join.instructions.pop()  # drop the ret
+        diags = verify_function_v2(function)
+        assert "verifier.no-terminator" in _rules(diags)
+
+    def test_phi_incoming_from_non_predecessor(self):
+        module, function = _diamond()
+        entry, join = function.blocks[0], function.blocks[3]
+        phi = join.instructions[0]
+        phi.add_incoming(vals.const_int(9), entry)  # entry is not a pred
+        diags = verify_function_v2(function)
+        assert "cfg.phi-predecessors" in _rules(diags)
+
+
+class TestSeededDataflowDefects:
+    def test_type_mismatched_operand(self):
+        module, function = _diamond()
+        left = function.blocks[1]
+        add = left.instructions[0]
+        add.set_operand(1, vals.const_int(1, 1))  # i1 into an i32 add
+        diags = verify_function_v2(function)
+        assert _rules(diags) & {"verifier.opcode", "verifier.type"}
+
+    def test_use_before_def_across_sibling_blocks(self):
+        module, function = _diamond()
+        left, right = function.blocks[1], function.blocks[2]
+        lv = left.instructions[0]
+        # right does not postdominate left's def: sibling use is invalid
+        right.instructions[0].set_operand(1, lv)
+        diags = verify_function_v2(function)
+        assert "verifier.use-before-def" in _rules(diags)
+
+    def test_use_before_def_same_block(self):
+        module, function = _diamond()
+        entry = function.blocks[0]
+        builder = IRBuilder(entry)
+        late = builder.add(function.arguments[0], vals.const_int(3), "late")
+        # place the def between the icmp and the branch, then make the
+        # earlier icmp read it
+        entry.instructions.remove(late)
+        entry.instructions.insert(1, late)
+        entry.instructions[0].set_operand(0, late)
+        diags = verify_function_v2(function)
+        assert "verifier.use-before-def" in _rules(diags)
+
+    def test_def_in_unreachable_block_used_in_live_code(self):
+        module, function = _diamond()
+        dead = function.append_block("dead")
+        db = IRBuilder(dead)
+        ghost = db.add(function.arguments[0], vals.const_int(5), "ghost")
+        db.ret(ghost)
+        join = function.blocks[3]
+        join.instructions[-1].set_operand(0, ghost)
+        diags = verify_function_v2(function)
+        assert "verifier.use-before-def" in _rules(diags)
+
+
+class TestSeededReferenceDefects:
+    def test_foreign_callee(self):
+        module, function = _diamond()
+        foreign_module = Module()
+        foreign = foreign_module.create_function(
+            "foreign", ty.function_type(ty.I32, [ty.I32]))
+        entry = function.blocks[0]
+        builder = IRBuilder(entry)
+        call = builder.call(foreign, [function.arguments[0]], "c")
+        entry.instructions.remove(call)
+        entry.instructions.insert(0, call)
+        diags = verify_function_v2(function)
+        assert "verifier.foreign-callee" in _rules(diags)
+
+    def test_dangling_callee(self):
+        module, function = _diamond()
+        helper = module.create_function(
+            "helper", ty.function_type(ty.I32, [ty.I32]))
+        entry = function.blocks[0]
+        builder = IRBuilder(entry)
+        call = builder.call(helper, [function.arguments[0]], "c")
+        entry.instructions.remove(call)
+        entry.instructions.insert(0, call)
+        module.remove_function(helper)  # call site survives, callee gone
+        diags = verify_function_v2(function)
+        assert "verifier.dangling-callee" in _rules(diags)
+
+    def test_foreign_argument(self):
+        module, function = _diamond()
+        other_module, other = _diamond(name="other")
+        left = function.blocks[1]
+        left.instructions[0].set_operand(0, other.arguments[0])
+        diags = verify_function_v2(function)
+        assert "verifier.foreign-argument" in _rules(diags)
+
+    def test_foreign_instruction_value(self):
+        module, function = _diamond()
+        other_module, other = _diamond(name="other")
+        stray = other.blocks[1].instructions[0]
+        left = function.blocks[1]
+        left.instructions[0].set_operand(0, stray)
+        diags = verify_function_v2(function)
+        assert "verifier.foreign-value" in _rules(diags)
+
+
+class TestGatedDominance:
+    """Merged codegen guards defs behind i1 predicate arguments; the
+    verifier must accept uses valid under every consistent assignment and
+    reject genuinely unguarded ones."""
+
+    @staticmethod
+    def _gated_function():
+        module = Module()
+        function = module.create_function(
+            "gated", ty.function_type(ty.I32, [ty.I32, ty.I1]),
+            arg_names=["a", "p"])
+        a, p = function.arguments
+        entry = function.append_block("entry")
+        guarded = function.append_block("guarded")
+        other = function.append_block("other")
+        join = function.append_block("join")
+        IRBuilder(entry).cond_br(p, guarded, other)
+        gb = IRBuilder(guarded)
+        x = gb.add(a, vals.const_int(1), "x")
+        gb.br(join)
+        ob = IRBuilder(other)
+        y = ob.add(a, vals.const_int(2), "y")
+        ob.br(join)
+        return module, function, (a, p, x, y, join)
+
+    def test_select_pinned_use_is_accepted(self):
+        module, function, (a, p, x, y, join) = self._gated_function()
+        jb = IRBuilder(join)
+        jb.ret(jb.select(p, x, y, "pick"))
+        assert errors_of(verify_function_v2(function)) == []
+
+    def test_unconditional_use_of_gated_def_is_rejected(self):
+        module, function, (a, p, x, y, join) = self._gated_function()
+        IRBuilder(join).ret(x)  # x only exists when p is true
+        diags = verify_function_v2(function)
+        assert "verifier.use-before-def" in _rules(diags)
+
+    def test_swapped_select_arms_are_rejected(self):
+        module, function, (a, p, x, y, join) = self._gated_function()
+        jb = IRBuilder(join)
+        jb.ret(jb.select(p, y, x, "pick"))  # arms pinned to wrong polarity
+        diags = verify_function_v2(function)
+        assert "verifier.use-before-def" in _rules(diags)
+
+
+class TestRaiseHelper:
+    def test_verify_module_or_raise(self):
+        module, function = _diamond()
+        left = function.blocks[1]
+        lv = left.instructions[0]
+        function.blocks[2].instructions[0].set_operand(1, lv)
+        with pytest.raises(AnalysisError) as excinfo:
+            verify_module_or_raise(module)
+        assert "use-before-def" in str(excinfo.value)

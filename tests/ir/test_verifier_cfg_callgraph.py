@@ -7,7 +7,7 @@ from repro.ir import cfg
 from repro.ir import types as ty
 from repro.ir import values as vals
 from repro.ir.callgraph import CallGraph
-from repro.ir.instructions import Branch, Instruction, Return, Store
+from repro.ir.instructions import Branch, Instruction, Store
 
 
 def _diamond_function(module=None):
@@ -219,3 +219,32 @@ class TestCallGraph:
         IRBuilder(external.append_block("entry")).ret_void()
         graph.rebuild()
         assert not graph.is_dead(external)
+
+
+class TestVerifierV1Regressions:
+    """Regressions for gaps verifier v1 historically had: malformed
+    declarations passed silently because the declaration early-return ran
+    before any argument checks."""
+
+    def test_declaration_argument_count_mismatch(self):
+        module = Module()
+        declaration = module.create_function(
+            "ext", ty.function_type(ty.I32, [ty.I32, ty.I32]))
+        declaration.arguments.pop()
+        errors = verify_function(declaration)
+        assert any("argument count" in e for e in errors)
+
+    def test_declaration_broken_argument_parent(self):
+        module = Module()
+        declaration = module.create_function(
+            "ext", ty.function_type(ty.I32, [ty.I32]))
+        other = module.create_function(
+            "other", ty.function_type(ty.I32, [ty.I32]))
+        declaration.arguments[0].parent = other
+        errors = verify_function(declaration)
+        assert any("parent link broken" in e for e in errors)
+
+    def test_well_formed_declaration_still_passes(self):
+        module = Module()
+        module.create_function("ext", ty.function_type(ty.I32, [ty.I32]))
+        verify_or_raise(module)

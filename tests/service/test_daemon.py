@@ -507,3 +507,45 @@ class TestScheduledRecycle:
                 assert not (set(pids_before) & set(pids_after))
         finally:
             daemon.shutdown()
+
+
+class TestSanitizerMode:
+    def test_sanitize_stats_counters(self):
+        daemon = make_daemon(sanitize=True, result_cache_size=0)
+        try:
+            with ServiceClient(daemon.address, timeout=60.0) as client:
+                result = client.compile_module(WORKLOAD)
+                # 0 means the sanitizer ran and found nothing; None (the
+                # plain-daemon value) means it never ran at all
+                assert result["sanitize_violations"] == 0
+
+                opened = client.open_session(
+                    {"kind": "source", "text": SOURCE})
+                sid = opened["session"]
+                client.session_update(sid, [])
+                client.close_session(sid)
+
+                stats = client.stats()
+                assert stats["sanitize_enabled"] is True
+                assert stats["sanitize_runs"] > 0
+                assert stats["sanitize_violations"] == 0
+                assert stats["sanitize_wall_seconds"] >= 0.0
+        finally:
+            daemon.shutdown()
+
+    def test_sanitize_decisions_match_plain_daemon(self):
+        plain = make_daemon()
+        checked = make_daemon(sanitize=True)
+        try:
+            with ServiceClient(plain.address, timeout=60.0) as a, \
+                    ServiceClient(checked.address, timeout=60.0) as b:
+                assert (a.compile_module(WORKLOAD)["decisions"]
+                        == b.compile_module(WORKLOAD)["decisions"])
+        finally:
+            plain.shutdown()
+            checked.shutdown()
+
+    def test_sanitize_off_by_default(self, client):
+        stats = client.stats()
+        assert stats["sanitize_enabled"] is False
+        assert "sanitize_runs" not in stats

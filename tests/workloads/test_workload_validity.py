@@ -1,0 +1,47 @@
+"""Every workload generator must emit verifier-clean IR.
+
+Parametrized over all mibench benchmarks, all spec2006 benchmarks, all case
+studies, and a synthetic suite config: both the classic verifier
+(``verify_or_raise``) and verifier v2 accept each generated module with
+zero errors.
+"""
+
+import pytest
+
+from repro.analysis import errors_of, verify_module_v2
+from repro.ir.verifier import verify_or_raise
+from repro.workloads.case_studies import SOURCES, case_study_module
+from repro.workloads.mibench import (build_mibench_benchmark,
+                                     mibench_benchmark_names)
+from repro.workloads.spec2006 import (build_spec_benchmark,
+                                      spec_benchmark_names)
+from repro.workloads.suites import BenchmarkConfig, build_benchmark_module
+
+
+def _assert_clean(module):
+    verify_or_raise(module)
+    diags = verify_module_v2(module)
+    assert errors_of(diags) == [], "\n".join(map(str, errors_of(diags)))
+
+
+@pytest.mark.parametrize("name", mibench_benchmark_names())
+def test_mibench_generators_are_verifier_clean(name):
+    _assert_clean(build_mibench_benchmark(name).module)
+
+
+@pytest.mark.parametrize("name", spec_benchmark_names())
+def test_spec_generators_are_verifier_clean(name):
+    _assert_clean(build_spec_benchmark(name).module)
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_case_studies_are_verifier_clean(name):
+    _assert_clean(case_study_module(name))
+
+
+def test_synthetic_suite_is_verifier_clean():
+    config = BenchmarkConfig(
+        name="synthetic-validity", suite="synthetic", functions=24,
+        avg_size=40, identical_share=0.25, structural_share=0.25,
+        partial_share=0.25)
+    _assert_clean(build_benchmark_module(config, scale=1.0, seed=3).module)
