@@ -79,6 +79,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
+from ...resilience import degradation_event, fault_triggered
 from ..alignment import (AlignedEntry, AlignmentResult, ops_string,
                          result_from_ops)
 
@@ -318,6 +319,10 @@ class AlignmentCache:
         self.misses = 0
         self.evictions = 0
         self.cross_run_hits = 0
+        #: Graceful-degradation transitions (``degradation_event`` dicts):
+        #: a corrupt/unreadable snapshot degrading the warm start to cold,
+        #: a failed save leaving the run unpersisted.
+        self.degradations: List[dict] = []
         if autosave_path is not None:
             self.enable_autosave(autosave_path,
                                  every_puts=save_every_n_puts,
@@ -389,6 +394,7 @@ class AlignmentCache:
             self.misses = 0
             self.evictions = 0
             self.cross_run_hits = 0
+            self.degradations = []
 
     def stats_dict(self, prefix: str = "align_cache_") -> Dict[str, int]:
         """Counters for ``MergeReport.scheduler_stats``."""
@@ -403,6 +409,7 @@ class AlignmentCache:
                 prefix + "bytes": self._bytes,
                 prefix + "generation": self._generation,
                 prefix + "autosaves": self.autosaves,
+                prefix + "degradations": len(self.degradations),
             }
 
     # -- debounced autosave --------------------------------------------------
@@ -581,14 +588,39 @@ class AlignmentCache:
             "entries": entries,
             "checksum": _entries_checksum([ops_table, entries]),
         }
+        data = json.dumps(snapshot, separators=(",", ":"))
         tmp_path = f"{path}.tmp.{os.getpid()}"
+        if fault_triggered("cache.snapshot_torn_write"):
+            # simulate a crash mid-write: half the payload lands in the temp
+            # file, the atomic rename never happens.  The previous snapshot
+            # at ``path`` must survive untouched (what the torn-write test
+            # asserts), and the stray temp file must be harmless litter.
+            try:
+                with open(tmp_path, "w") as handle:
+                    handle.write(data[:len(data) // 2])
+            except OSError:
+                pass
+            self.degradations.append(degradation_event(
+                "cache", "persistent", "unsaved",
+                "cache.snapshot_torn_write"))
+            return False
         try:
+            if fault_triggered("cache.snapshot_io"):
+                raise OSError("injected fault at 'cache.snapshot_io'")
             with open(tmp_path, "w") as handle:
-                json.dump(snapshot, handle, separators=(",", ":"))
+                handle.write(data)
+                # flush + fsync before the rename: on a crash right after
+                # os.replace the new file's *contents* must already be
+                # durable, otherwise some filesystems can persist the rename
+                # but not the data, leaving a truncated "committed" snapshot
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, path)
         except OSError as error:
             warnings.warn(f"could not save alignment-cache snapshot to "
                           f"{path!r}: {error}", RuntimeWarning, stacklevel=2)
+            self.degradations.append(degradation_event(
+                "cache", "persistent", "unsaved", str(error)))
             try:
                 os.unlink(tmp_path)
             except OSError:
@@ -677,6 +709,8 @@ class AlignmentCache:
             # snapshot nobody ever wrote (read-only callers included)
             return 0
         try:
+            if fault_triggered("cache.snapshot_io"):
+                raise OSError("injected fault at 'cache.snapshot_io'")
             with _snapshot_lock(path, shared=True):
                 generation, decoded = self._parse_snapshot(path)
         except FileNotFoundError:
@@ -684,10 +718,14 @@ class AlignmentCache:
         except _SnapshotError as error:
             warnings.warn(f"ignoring alignment-cache snapshot {path!r}: "
                           f"{error}", RuntimeWarning, stacklevel=2)
+            self.degradations.append(degradation_event(
+                "cache", "warm", "cold", str(error)))
             return 0
         except (OSError, ValueError) as error:
             warnings.warn(f"ignoring unreadable alignment-cache snapshot "
                           f"{path!r}: {error}", RuntimeWarning, stacklevel=2)
+            self.degradations.append(degradation_event(
+                "cache", "warm", "cold", str(error)))
             return 0
 
         with self._lock:

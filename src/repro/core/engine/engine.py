@@ -28,11 +28,14 @@ spent reaching them changes.
 from __future__ import annotations
 
 import os
+import weakref
 from collections import deque
 from typing import Callable, Dict, List, Optional, Union
 
 from ...analysis.sanitizer import Sanitizer
 from ...ir.callgraph import CallGraph
+from ...resilience import (FaultPlan, ResilienceError, RetryPolicy,
+                           install_fault_plan, maybe_install_env_plan)
 from ...ir.function import Function
 from ...ir.module import Module
 from ...targets.cost_model import TargetCostModel
@@ -94,7 +97,9 @@ class MergeEngine:
                  incremental_fingerprints: bool = True,
                  verify_fingerprints: Optional[bool] = None,
                  sanitize: Optional[bool] = None,
-                 sanitizer: Optional["Sanitizer"] = None):
+                 sanitizer: Optional["Sanitizer"] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         """Create the engine.
 
         Args:
@@ -218,6 +223,21 @@ class MergeEngine:
                 :class:`~repro.analysis.Sanitizer` (the daemon shares one
                 across warm passes so its ``stats`` response can aggregate
                 the counters); implies ``sanitize=True``.
+            fault_plan: install this :class:`~repro.resilience.FaultPlan`
+                process-wide (deterministic fault injection at the named
+                sites of :data:`~repro.resilience.FAULT_SITES`).  When
+                None, the ``REPRO_FAULTS`` environment variable is
+                consulted once per process.  With no plan every fault
+                point reduces to a single ``is None`` check.
+            retry_policy: how offloaded alignment work is retried, deadlined
+                and degraded (see :class:`~repro.resilience.RetryPolicy`).
+                Defaults to the ``REPRO_RETRY_*`` / ``REPRO_TASK_DEADLINE``
+                environment knobs over the conservative single-attempt
+                policy, which preserves the historical failure behaviour
+                exactly.  Retries and the in-process fallback are
+                bit-identical - alignment tasks are pure data - so the
+                policy can never change merge decisions, only whether a
+                faulting run completes.
         """
         self.target = target or X86_64
         self.exploration_threshold = max(1, exploration_threshold)
@@ -250,6 +270,17 @@ class MergeEngine:
             if sanitize is None:
                 sanitize = _env_flag("REPRO_SANITIZE")
             self.sanitizer = Sanitizer() if sanitize else None
+        if fault_plan is not None:
+            install_fault_plan(fault_plan)
+        else:
+            maybe_install_env_plan()
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env())
+        # engine-lifetime record of executor-side degradations (executors
+        # are per-run; see collect_degradations)
+        self._executor_degradations: List[dict] = []
+        self._executor_degradation_marks: \
+            "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
         if isinstance(searcher, str):
             searcher = make_searcher(searcher,
@@ -484,7 +515,7 @@ class MergeEngine:
             try:
                 self._hydrate_entry(name, limit, scoring_key, module, cache,
                                     seen, pending)
-            except PlanningError:
+            except (PlanningError, ResilienceError):
                 raise
             except Exception as error:
                 # hydration runs the same search/linearize machinery as
@@ -546,6 +577,32 @@ class MergeEngine:
         report.candidates_evaluated += plan.candidates_evaluated
         report.codegen_failures += plan.codegen_failures
         report.candidates_pruned += plan.candidates_pruned
+
+    def collect_degradations(self, scheduler: Optional[MergeScheduler] = None
+                             ) -> List[dict]:
+        """Every graceful-degradation transition the resilience layer has
+        recorded, across the layers this engine owns: the scheduler's
+        executor (offload pool -> in-process), the alignment stage's kernel
+        ladder, and the cache's warm -> cold / persistent -> unsaved events.
+        Cumulative for the lifetime of the (possibly reused) engine, like
+        the resident cache's counters; lands in
+        ``scheduler_stats["degradations"]`` of every report."""
+        if scheduler is not None:
+            # executors are (usually) per-run: absorb their events into the
+            # engine-lifetime list.  The watermark keyed by the executor
+            # object keeps a keep-alive pool reused across runs from being
+            # double-counted.
+            executor = scheduler.executor
+            current = list(getattr(executor, "degradations", None) or [])
+            seen = self._executor_degradation_marks.get(executor, 0)
+            if len(current) > seen:
+                self._executor_degradations.extend(current[seen:])
+                self._executor_degradation_marks[executor] = len(current)
+        events: List[dict] = list(self._executor_degradations)
+        events.extend(self.alignment.degradations)
+        if self.align_cache is not None:
+            events.extend(self.align_cache.degradations)
+        return events
 
     # -- commit (the only mutating step) ----------------------------------------
     def commit_plan(self, plan: MergePlan) -> CommitEvents:
@@ -664,7 +721,8 @@ class MergeEngine:
         pre-built executor).  ``plan`` / ``absorb`` override the engine's
         own callbacks (sessions interpose plan memoization there)."""
         if executor is None:
-            executor = make_executor(self.executor_kind, self.jobs)
+            executor = make_executor(self.executor_kind, self.jobs,
+                                     retry_policy=self.retry_policy)
         uses_cache = self.alignment.uses_cache
         return MergeScheduler(
             plan=plan if plan is not None else self.plan_entry,
@@ -758,6 +816,8 @@ class MergeEngine:
                 # caches persist on their owner's schedule instead.
                 self.align_cache.save(self.alignment_cache_path)
             report.scheduler_stats.update(self.align_cache.stats_dict())
+        report.scheduler_stats["degradations"] = self.collect_degradations(
+            scheduler)
         if self.sanitizer is not None:
             self.sanitizer.after_run(module, call_graph)
             report.scheduler_stats.update(self.sanitizer.stats())

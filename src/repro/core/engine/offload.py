@@ -54,11 +54,15 @@ cache-warming prefetch, never a second code path for deciding anything.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ...resilience import (ResilienceError, RetryPolicy, degradation_event,
+                           fault_triggered)
 from ..align_np import (numpy_available, require_numpy,
                         solve_keyed_alignment_numpy)
 from ..alignment import ScoringScheme, solve_keyed_alignment
@@ -195,17 +199,76 @@ def solve_alignment_group(group: AlignmentTaskGroup) -> List[TaskResult]:
     return results
 
 
-def _solve_group_chunk(groups: List[AlignmentTaskGroup]
+def _solve_group_chunk(groups: List[AlignmentTaskGroup],
+                       inject: Optional[str] = None
                        ) -> Tuple[List[TaskResult], float]:
-    """Worker entry for packed dispatch: flat results in group order."""
+    """Worker entry for packed dispatch: flat results in group order.
+
+    ``inject`` carries a fault *instruction* decided on the dispatching
+    side (see :class:`ProcessExecutor`): the worker obeys rather than
+    consulting the fault plan itself, so one process owns the deterministic
+    trigger stream.  ``"crash"`` dies like a SIGKILL'd worker, ``"hang"``
+    stalls far past any sane deadline, ``"corrupt"`` returns a result whose
+    alignment shape cannot have come from the DP.
+    """
+    if inject == "crash":
+        os._exit(3)
+    if inject == "hang":
+        time.sleep(3600.0)
     start = time.perf_counter()
     results: List[TaskResult] = []
     for group in groups:
         results.extend(solve_alignment_group(group))
+    if inject == "corrupt" and results:
+        results[0] = TaskResult(ops="m" * (len(results[0].ops) + 2),
+                                score=results[0].score)
     return results, time.perf_counter() - start
 
 
 # -- executor side -------------------------------------------------------------
+
+def _valid_result_shape(task: AlignmentTask, result) -> bool:
+    """Cheap structural validation of one worker result: the op string must
+    be over the ``m``/``l``/``r`` alphabet and consume exactly both key
+    sequences.  Catches a corrupted (or corrupt-injected) result before it
+    poisons the alignment cache."""
+    if not isinstance(result, TaskResult) or not isinstance(result.ops, str):
+        return False
+    consumed1 = consumed2 = 0
+    for op in result.ops:
+        if op == "m":
+            consumed1 += 1
+            consumed2 += 1
+        elif op == "l":
+            consumed1 += 1
+        elif op == "r":
+            consumed2 += 1
+        else:
+            return False
+    return (consumed1 == len(task.keys1)
+            and consumed2 == len(task.keys2))
+
+
+class _AttemptFailure(Exception):
+    """Internal: one failed dispatch attempt, attributed to a fault site.
+
+    ``site`` doubles as a failure *category* - real failures land on the
+    same site names the injector uses (a genuinely hung worker is
+    ``offload.worker_hang`` exactly like an injected one), so retry
+    accounting and the typed-abort contract treat both identically.
+    ``kind`` drives pool teardown: crashed and hung pools must be rebuilt
+    (hung workers additionally SIGKILL'd), a corrupt result leaves the pool
+    healthy.
+    """
+
+    def __init__(self, site: str, task_index: int, cause: BaseException,
+                 kind: str):
+        super().__init__(f"{site}: {type(cause).__name__}: {cause}")
+        self.site = site
+        self.task_index = task_index
+        self.cause = cause
+        self.kind = kind
+
 
 class ProcessExecutor(PlanExecutor):
     """Plan executor that offloads alignment tasks to a process pool.
@@ -231,7 +294,8 @@ class ProcessExecutor(PlanExecutor):
     CHUNKS_PER_JOB = 4
 
     def __init__(self, jobs: int, kernel: str = "auto",
-                 keep_alive: bool = False):
+                 keep_alive: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None):
         if kernel not in WORKER_KERNELS:
             raise ValueError(f"unknown offload worker kernel {kernel!r}; "
                              f"available: {WORKER_KERNELS}")
@@ -241,21 +305,58 @@ class ProcessExecutor(PlanExecutor):
         #: teardown), so back-to-back engine runs in one process reuse the
         #: same worker pool; only an explicit :meth:`close` shuts it down.
         self.keep_alive = bool(keep_alive)
+        #: How dispatch failures are retried / deadlined / degraded.  The
+        #: default policy is single-attempt with no fallback, preserving
+        #: the historical ``TaskFailure`` contract exactly.
+        self.retry_policy = retry_policy or RetryPolicy()
         #: Cumulative left-sequence bytes that task packing kept off the
         #: pickle boundary (see the module docstring); surfaced in the
         #: scheduler's ``offload_bytes_saved`` stat.
         self.offload_bytes_saved = 0
-        self._pool = ProcessPoolExecutor(max_workers=self.jobs,
-                                         initializer=_init_worker,
-                                         initargs=(kernel,))
+        #: Resilience accounting, copied into scheduler stats per batch.
+        self.offload_retries = 0
+        self.offload_pool_recycles = 0
+        self.offload_deadline_timeouts = 0
+        self.offload_inprocess_fallbacks = 0
+        #: Graceful-degradation transitions (``degradation_event`` dicts).
+        self.degradations: List[dict] = []
+        self._pool: Optional[ProcessPoolExecutor] = self._build_pool()
+
+    def _build_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs,
+                                   initializer=_init_worker,
+                                   initargs=(self.kernel,))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = self._build_pool()
+        return self._pool
+
+    def _teardown_pool(self, kill: bool = False) -> None:
+        """Discard the current pool after a failed attempt.  ``kill``
+        SIGKILLs the workers first - a hung worker never honours a
+        cooperative shutdown, and ``shutdown(wait=True)`` on a pool with a
+        sleeping worker would turn a detected hang back into a real one."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for pid in list(getattr(pool, "_processes", {}) or {}):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        self.offload_pool_recycles += 1
 
     def worker_pids(self) -> List[int]:
         """PIDs of the pool's live worker processes (spawning one worker if
         none exists yet).  Observability for keep-alive reuse tests and the
         merge daemon's stats - with ``keep_alive=True``, consecutive runs
         must report overlapping PID sets."""
-        self._pool.submit(os.getpid).result()  # force at least one worker
-        return sorted(self._pool._processes.keys())
+        pool = self._ensure_pool()
+        pool.submit(os.getpid).result()  # force at least one worker
+        return sorted(pool._processes.keys())
 
     def map(self, fn, names):
         # finish-plan: main process, serially (the offload already paid the
@@ -267,9 +368,15 @@ class ProcessExecutor(PlanExecutor):
         """Solve ``tasks`` on the pool; returns ``(results, worker_seconds)``
         with results in task order and the summed in-worker DP time.
 
-        Raises :class:`TaskFailure` naming the first failed task when a
-        worker raises or dies (e.g. killed mid-batch); the caller owns
-        shutting the executor down.
+        Failure handling follows :attr:`retry_policy`: each attempt is
+        bounded by the per-task deadline (a hung worker surfaces as a
+        detected timeout, not an infinite wait), a failed attempt tears the
+        pool down and retries on fresh workers after deterministic backoff,
+        and an exhausted budget either degrades to solving in-process
+        (``fallback_inprocess`` - bit-identical, the tasks are pure) or
+        raises: :class:`~repro.resilience.ResilienceError` naming the
+        failure site under a resilient policy, the legacy
+        :class:`TaskFailure` under the default single-attempt policy.
         """
         if not tasks:
             return [], 0.0
@@ -289,6 +396,52 @@ class ProcessExecutor(PlanExecutor):
             if len(indices) > 1:
                 self.offload_bytes_saved += ((len(indices) - 1)
                                              * sum(map(len, keys1)))
+        policy = self.retry_policy
+        attempts = max(1, policy.max_attempts)
+        failure: Optional[_AttemptFailure] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._run_tasks_once(tasks, groups, order)
+            except _AttemptFailure as error:
+                failure = error
+                # a hung pool must always be torn down (killed) - even on
+                # the last attempt a cooperative shutdown would block on
+                # the sleeping worker.  A crashed pool is only discarded
+                # when another attempt needs fresh workers; on final
+                # failure it stays, shut down by the caller's close()
+                # path, inspectably broken.
+                if error.kind == "hang" or (error.kind == "crash"
+                                            and attempt < attempts):
+                    self._teardown_pool(kill=error.kind == "hang")
+                if attempt < attempts:
+                    self.offload_retries += 1
+                    delay = policy.backoff_delay(attempt)
+                    if delay > 0.0:
+                        time.sleep(delay)
+        # retry budget exhausted
+        if policy.fallback_inprocess:
+            self.offload_inprocess_fallbacks += 1
+            self.degradations.append(degradation_event(
+                "offload", "process-pool", "in-process", failure.site))
+            start = time.perf_counter()
+            results = [solve_alignment_task(task) for task in tasks]
+            return results, time.perf_counter() - start
+        if policy.resilient:
+            raise ResilienceError(
+                failure.site,
+                f"offload retry budget exhausted after {attempts} "
+                f"attempt(s) at {failure.site}: "
+                f"{type(failure.cause).__name__}: {failure.cause}",
+                task_index=failure.task_index) from failure.cause
+        raise TaskFailure(failure.task_index, failure.cause)
+
+    def _run_tasks_once(self, tasks: Sequence[AlignmentTask],
+                        groups: List[AlignmentTaskGroup],
+                        order: List[List[int]]
+                        ) -> Tuple[List[TaskResult], float]:
+        """One dispatch attempt; raises :class:`_AttemptFailure` on any
+        worker crash, deadline overrun, or corrupt result shape."""
+        pool = self._ensure_pool()
         chunk_size = max(1, -(-len(groups) // (self.jobs * self.CHUNKS_PER_JOB)))
         chunks = [groups[i:i + chunk_size]
                   for i in range(0, len(groups), chunk_size)]
@@ -296,32 +449,72 @@ class ProcessExecutor(PlanExecutor):
                         for i in range(0, len(order), chunk_size)]
         futures = []
         for index, chunk in enumerate(chunks):
+            # fault triggers are consulted on the dispatching side (one
+            # deterministic stream) and shipped as an instruction
+            inject = None
+            if fault_triggered("offload.worker_crash"):
+                inject = "crash"
+            elif fault_triggered("offload.worker_hang"):
+                inject = "hang"
+            elif fault_triggered("offload.result_corrupt"):
+                inject = "corrupt"
             try:
-                futures.append(self._pool.submit(_solve_group_chunk, chunk))
+                futures.append(pool.submit(_solve_group_chunk, chunk, inject))
             except BaseException as error:  # pool already broken/shut down
                 for pending in futures:
                     pending.cancel()
-                raise TaskFailure(chunk_orders[index][0][0], error)
+                raise _AttemptFailure("offload.worker_crash",
+                                      chunk_orders[index][0][0], error,
+                                      "crash")
+        deadline = self.retry_policy.task_deadline
+        started = time.monotonic()
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         worker_seconds = 0.0
         for index, future in enumerate(futures):
+            first_index = chunk_orders[index][0][0]
             try:
-                chunk_results, seconds = future.result()
+                if deadline is None:
+                    chunk_results, seconds = future.result()
+                else:
+                    remaining = deadline - (time.monotonic() - started)
+                    if remaining <= 0.0:
+                        raise FuturesTimeout(
+                            f"offload deadline of {deadline:.3f}s exhausted")
+                    chunk_results, seconds = future.result(timeout=remaining)
+            except (FuturesTimeout, TimeoutError) as error:
+                for pending in futures[index:]:
+                    pending.cancel()
+                self.offload_deadline_timeouts += 1
+                raise _AttemptFailure("offload.worker_hang", first_index,
+                                      error, "hang")
             except BaseException as error:  # BrokenProcessPool included
                 # abort immediately: cancel queued chunks rather than
                 # draining a batch's worth of DPs whose results the
                 # (failing) scheduler will throw away anyway
                 for pending in futures[index + 1:]:
                     pending.cancel()
-                raise TaskFailure(chunk_orders[index][0][0], error)
+                raise _AttemptFailure("offload.worker_crash", first_index,
+                                      error, "crash")
             pos = 0
             for indices in chunk_orders[index]:
                 for original in indices:
-                    results[original] = chunk_results[pos]
+                    result = chunk_results[pos]
+                    if not _valid_result_shape(tasks[original], result):
+                        for pending in futures[index + 1:]:
+                            pending.cancel()
+                        raise _AttemptFailure(
+                            "offload.result_corrupt", original,
+                            ValueError("worker returned a malformed "
+                                       "alignment shape"), "corrupt")
+                    results[original] = result
                     pos += 1
             worker_seconds += seconds
         return results, worker_seconds
 
     def close(self) -> None:
-        self._pool.shutdown()
+        # the shut-down pool object stays inspectable (tests and stats
+        # probe it); only a failed-attempt teardown discards it so the
+        # next attempt rebuilds fresh workers
+        if self._pool is not None:
+            self._pool.shutdown()
         self.closed = True

@@ -56,6 +56,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Union
 
+from ...resilience import ResilienceError, RetryPolicy, fault_point
 from .plan import CommitEvents, MergePlan, PendingAlignment
 
 #: Environment knob selecting the plan executor for engines that leave
@@ -145,11 +146,13 @@ class ThreadExecutor(PlanExecutor):
         self.closed = True
 
 
-def _make_process_executor(jobs: int) -> PlanExecutor:
+def _make_process_executor(jobs: int,
+                           retry_policy: Optional[RetryPolicy] = None
+                           ) -> PlanExecutor:
     """Registry thunk: the process executor lives in the offload module
     (which imports this one), so it is resolved lazily."""
     from .offload import ProcessExecutor
-    return ProcessExecutor(jobs)
+    return ProcessExecutor(jobs, retry_policy=retry_policy)
 
 
 #: Executor kinds selectable by name.  ``"process"`` plans in the main
@@ -162,13 +165,16 @@ EXECUTORS = {
 
 
 def make_executor(kind: Union[str, PlanExecutor] = "auto",
-                  jobs: int = 1) -> PlanExecutor:
+                  jobs: int = 1,
+                  retry_policy: Optional[RetryPolicy] = None) -> PlanExecutor:
     """Instantiate a plan executor.  ``"auto"`` picks serial for ``jobs<=1``
     and the thread pool otherwise.  A pre-built :class:`PlanExecutor`
     instance passes through unchanged - the caller-owned-pool seam: build
     one ``ProcessExecutor(jobs, keep_alive=True)``, hand it to every run,
     and the end-of-run :meth:`PlanExecutor.release` leaves its workers
-    alive for the next one."""
+    alive for the next one.  ``retry_policy`` reaches executors that retry
+    offloaded work (currently the process executor); the others plan
+    in-process and need none."""
     if isinstance(kind, PlanExecutor):
         return kind
     if kind == "auto":
@@ -180,6 +186,8 @@ def make_executor(kind: Union[str, PlanExecutor] = "auto",
                          f"available: {sorted(EXECUTORS)} (or 'auto')") from None
     if cls is SerialExecutor:
         return SerialExecutor()
+    if cls is _make_process_executor:
+        return cls(jobs, retry_policy=retry_policy)
     return cls(jobs)
 
 
@@ -302,6 +310,10 @@ class MergeScheduler:
             "offload_bytes_saved": 0,
             "offload_wall_seconds": 0.0,
             "offload_worker_seconds": 0.0,
+            "offload_retries": 0,
+            "offload_pool_recycles": 0,
+            "offload_deadline_timeouts": 0,
+            "offload_inprocess_fallbacks": 0,
             "plan_wall_seconds": 0.0,
             "batch_size_trace": [],
         }
@@ -320,10 +332,14 @@ class MergeScheduler:
     # -- planning ----------------------------------------------------------------
     def _plan_one(self, name: str) -> Optional[MergePlan]:
         """Plan one entry, naming the entry on failure (a bare exception
-        escaping a thread-pool map would not say which entry it came from)."""
+        escaping a thread-pool map would not say which entry it came from).
+        :class:`~repro.resilience.ResilienceError` passes through unwrapped
+        - planning is deterministic, so an injected plan failure is a typed
+        abort, never retried."""
         try:
+            fault_point("scheduler.plan_fail")
             return self.plan(name)
-        except PlanningError:
+        except (PlanningError, ResilienceError):
             raise
         except Exception as error:
             raise PlanningError(name, error) from error
@@ -375,9 +391,13 @@ class MergeScheduler:
         try:
             results, worker_seconds = self.executor.run_tasks(
                 [p.task for p in pending])
-        except PlanningError:
+        except (PlanningError, ResilienceError):
+            # a ResilienceError already names its fault site and task; the
+            # chaos contract needs it to surface unwrapped
+            self._absorb_offload_counters()
             raise
         except Exception as error:
+            self._absorb_offload_counters()
             index = getattr(error, "task_index", 0)
             entry = pending[min(index, len(pending) - 1)].entry
             raise PlanningError(entry, error) from error
@@ -391,8 +411,18 @@ class MergeScheduler:
                                                "offload_bytes_saved", 0)
         stats["offload_wall_seconds"] += wall
         stats["offload_worker_seconds"] += worker_seconds
+        self._absorb_offload_counters()
         if self.on_offload is not None:
             self.on_offload(wall)
+
+    def _absorb_offload_counters(self) -> None:
+        """Mirror the executor's resilience counters into the stats dict
+        (cumulative on the executor; the stats show the current values)."""
+        executor = self.executor
+        for key in ("offload_retries", "offload_pool_recycles",
+                    "offload_deadline_timeouts",
+                    "offload_inprocess_fallbacks"):
+            self.stats[key] = getattr(executor, key, 0)
 
     # -- driver ------------------------------------------------------------------
     def run(self, worklist: deque, available: set) -> None:

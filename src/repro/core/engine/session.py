@@ -91,6 +91,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ...ir.callgraph import CallGraph
 from ...ir.clone import transplant_body
+from ...resilience import fault_point
 from ...ir.function import Function
 from ...ir.module import Module
 from ...passes.reg2mem import demote_phis
@@ -327,10 +328,12 @@ class MergeSession:
             kind = self.engine.executor_kind
             if isinstance(kind, PlanExecutor):
                 kind = "auto"
-            return make_executor(kind, self.engine.jobs)
+            return make_executor(kind, self.engine.jobs,
+                                 retry_policy=self.engine.retry_policy)
         if callable(source):
             return source()
-        return make_executor(self.engine.executor_kind, self.engine.jobs)
+        return make_executor(self.engine.executor_kind, self.engine.jobs,
+                             retry_policy=self.engine.retry_policy)
 
     # -- lifecycle --------------------------------------------------------------
     def _open(self) -> None:
@@ -766,6 +769,8 @@ class MergeSession:
             lin.get("stale_evicted", 0))
         report.scheduler_stats["plans_reused"] = self._counters["reused"]
         report.scheduler_stats["functions_replanned"] = self._counters["fresh"]
+        report.scheduler_stats["degradations"] = engine.collect_degradations(
+            scheduler)
         report.stage_times = engine._legacy_stage_times()
         report.stage_stats = engine.stage_stats()
 
@@ -814,6 +819,10 @@ class MergeSession:
         old records, which only mutate during the serial commit walk - the
         scheduler never overlaps the two phases.
         """
+        # injected replay failure: surfaces exactly like a planner bug mid-
+        # replay, leaving partial commits for the next update's rollback
+        # (the recovery path the failure-recovery tests pin down)
+        fault_point("session.replay_fail")
         rec = self._old_records.get(name)
         if (rec is not None and rec.decision_key is None
                 and rec.limit == self._current_limit

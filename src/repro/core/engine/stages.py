@@ -32,6 +32,7 @@ from ..linearizer import LinearizedFunction, linearize_with_keys
 from ..profitability import MergeEvaluation, estimate_profit
 from ..ranking import RankedCandidate
 from ..thunks import AppliedMerge, apply_merge
+from ...resilience import InjectedFault, degradation_event, fault_triggered
 from .align_cache import AlignmentCache, ops_of, rehydrate
 from .base import Stage
 
@@ -362,6 +363,11 @@ class AlignmentStage(Stage):
         self.keyed = keyed
         self.cache = cache
         self._scoring_key = (scoring.match, scoring.mismatch, scoring.gap)
+        #: Kernel-ladder transitions (``degradation_event`` dicts): a keyed
+        #: kernel that raises mid-pair downgrades native -> numpy -> pure
+        #: (sticky for the rest of the run).  Bit-identity is free - every
+        #: keyed kernel produces the same alignments by construction.
+        self.degradations: List[dict] = []
 
     @property
     def uses_cache(self) -> bool:
@@ -383,32 +389,74 @@ class AlignmentStage(Stage):
 
     def _align(self, lin1: LinearizedFunction, lin2: LinearizedFunction):
         self.stats.bump("cells", len(lin1.entries) * len(lin2.entries))
-        if self.keyed:
-            kernel = self.KEYED_KERNELS.get(self.algorithm)
-            if kernel is not None:
-                cache = self.cache
-                if cache is None:
-                    self.stats.bump("keyed")
-                    return kernel(lin1.entries, lin2.entries,
-                                  lin1.keys, lin2.keys, self.scoring)
-                # canonical (interner-independent) digests, no kernel: every
-                # keyed kernel is bit-identical by construction, so entries
-                # transfer across kernel configs, interners and runs
-                key = (lin1.canonical_digest(), lin2.canonical_digest(),
-                       self._scoring_key)
-                cached = cache.get(key)
-                if cached is not None:
-                    self.stats.bump("cache_hits")
-                    return rehydrate(cached[0], cached[1],
-                                     lin1.entries, lin2.entries)
+        if self.keyed and self.algorithm in self.KEYED_KERNELS:
+            cache = self.cache
+            if cache is None:
                 self.stats.bump("keyed")
-                result = kernel(lin1.entries, lin2.entries,
-                                lin1.keys, lin2.keys, self.scoring)
-                cache.put(key, ops_of(result.entries), result.score)
-                return result
+                return self._solve_keyed(lin1, lin2)
+            # canonical (interner-independent) digests, no kernel: every
+            # keyed kernel is bit-identical by construction, so entries
+            # transfer across kernel configs, interners and runs
+            key = (lin1.canonical_digest(), lin2.canonical_digest(),
+                   self._scoring_key)
+            cached = cache.get(key)
+            if cached is not None:
+                self.stats.bump("cache_hits")
+                return rehydrate(cached[0], cached[1],
+                                 lin1.entries, lin2.entries)
+            self.stats.bump("keyed")
+            result = self._solve_keyed(lin1, lin2)
+            cache.put(key, ops_of(result.entries), result.score)
+            return result
         self.stats.bump("generic")
         return align(lin1.entries, lin2.entries, entries_equivalent,
                      self.scoring, self.algorithm)
+
+    @staticmethod
+    def _kernel_fallback(algorithm: str) -> Optional[str]:
+        """The next rung of the kernel degradation ladder (native -> numpy
+        -> pure), or None on the pure tier.  Skips a numpy rung whose
+        backend this process cannot even import."""
+        if algorithm in NATIVE_KERNELS:
+            fallback = native_fallback(algorithm)
+            if fallback in NUMPY_KERNELS and not numpy_available():
+                fallback = PURE_PYTHON_FALLBACKS[fallback]
+            return fallback
+        if algorithm in NUMPY_KERNELS:
+            return PURE_PYTHON_FALLBACKS[algorithm]
+        return None
+
+    def _solve_keyed(self, lin1: LinearizedFunction,
+                     lin2: LinearizedFunction) -> AlignmentResult:
+        """Run the keyed kernel, degrading down the ladder when it raises.
+
+        A crashing fast kernel (a broken native build, a NumPy regression,
+        or the ``align.kernel_crash`` injection) downgrades *sticky* to the
+        next tier of identical behaviour and the pair is re-solved there;
+        only the pure-Python tier, which has no rung below it, re-raises.
+        Each transition lands in :attr:`degradations` and warns once.
+        """
+        while True:
+            kernel = self.KEYED_KERNELS[self.algorithm]
+            try:
+                if fault_triggered("align.kernel_crash"):
+                    raise InjectedFault("align.kernel_crash")
+                return kernel(lin1.entries, lin2.entries,
+                              lin1.keys, lin2.keys, self.scoring)
+            except Exception as error:
+                fallback = self._kernel_fallback(self.algorithm)
+                if fallback is None:
+                    raise
+                warnings.warn(
+                    f"alignment kernel {self.algorithm!r} failed "
+                    f"({type(error).__name__}: {error}); degrading to the "
+                    f"{fallback!r} kernel (identical alignments)",
+                    RuntimeWarning, stacklevel=2)
+                self.degradations.append(degradation_event(
+                    "align-kernel", self.algorithm, fallback,
+                    f"{type(error).__name__}: {error}"))
+                self.stats.bump("kernel_degradations")
+                self.algorithm = fallback
 
 
 class CodegenStage(Stage):

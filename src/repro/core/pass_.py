@@ -59,7 +59,9 @@ class FunctionMergingPass(Pass):
                  incremental_fingerprints: bool = True,
                  verify_fingerprints: Optional[bool] = None,
                  sanitize: Optional[bool] = None,
-                 sanitizer: Optional[object] = None):
+                 sanitizer: Optional[object] = None,
+                 fault_plan: Optional[object] = None,
+                 retry_policy: Optional[object] = None):
         """Create the pass.
 
         Args:
@@ -125,6 +127,11 @@ class FunctionMergingPass(Pass):
                 sanitizer - verifier v2 plus the merge-correctness linter -
                 at stage boundaries (default: the ``REPRO_SANITIZE``
                 environment variable; see :class:`MergeEngine`).
+            fault_plan / retry_policy: resilience knobs - deterministic
+                fault injection and the offload retry/deadline/fallback
+                policy (defaults: the ``REPRO_FAULTS`` / ``REPRO_RETRY_*``
+                environment variables; see :class:`MergeEngine` and
+                :mod:`repro.resilience`).
         """
         self.engine = MergeEngine(
             target=target, exploration_threshold=exploration_threshold,
@@ -142,7 +149,8 @@ class FunctionMergingPass(Pass):
             oracle_prune=oracle_prune,
             incremental_fingerprints=incremental_fingerprints,
             verify_fingerprints=verify_fingerprints,
-            sanitize=sanitize, sanitizer=sanitizer)
+            sanitize=sanitize, sanitizer=sanitizer,
+            fault_plan=fault_plan, retry_policy=retry_policy)
 
     # -- facade properties (historical public attributes) -----------------------
     @property

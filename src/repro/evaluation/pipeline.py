@@ -174,7 +174,9 @@ def open_compile_session(module: Module, *,
                          alignment_cache_resident: bool = False,
                          session_executor=None,
                          sanitize: Optional[bool] = None,
-                         sanitizer=None) -> MergeSession:
+                         sanitizer=None,
+                         fault_plan=None,
+                         retry_policy=None) -> MergeSession:
     """Open a long-lived incremental merge session over ``module``.
 
     Runs the same *pre* passes ``compile_module`` applies (DCE + CFG
@@ -214,7 +216,8 @@ def open_compile_session(module: Module, *,
                          else True),
         alignment_cache_resident=alignment_cache_resident,
         alignment_cache_path=alignment_cache_path, jobs=jobs,
-        executor=executor, sanitize=sanitize, sanitizer=sanitizer)
+        executor=executor, sanitize=sanitize, sanitizer=sanitizer,
+        fault_plan=fault_plan, retry_policy=retry_policy)
     return MergeSession(fmsa.engine, module, executor=session_executor)
 
 
@@ -234,7 +237,9 @@ def compile_module(module: Module, technique: str, *,
                    jobs: Optional[int] = None,
                    executor: str = "auto",
                    merge_pass: Optional[FunctionMergingPass] = None,
-                   sanitize: Optional[bool] = None
+                   sanitize: Optional[bool] = None,
+                   fault_plan=None,
+                   retry_policy=None
                    ) -> CompilationResult:
     """Run the full pipeline on ``module`` with one configuration.
 
@@ -276,6 +281,13 @@ def compile_module(module: Module, technique: str, *,
     :class:`~repro.analysis.AnalysisError` on any violation.  Decisions
     are bit-identical with it on or off.  Ignored when ``merge_pass`` is
     injected (the pass's own engine configuration wins).
+
+    ``fault_plan`` / ``retry_policy`` (defaults: the ``REPRO_FAULTS`` /
+    ``REPRO_RETRY_*`` environment variables) configure deterministic fault
+    injection and the offload retry/deadline/fallback policy of the merge
+    engine (:mod:`repro.resilience`).  Runs that complete are bit-identical
+    to fault-free runs; like ``sanitize``, both are ignored when
+    ``merge_pass`` is injected.
     """
     cost_model = get_target(target)
     profiles = {f.name: f.profile for f in module.defined_functions()
@@ -320,7 +332,8 @@ def compile_module(module: Module, technique: str, *,
                     searcher=searcher, keyed_alignment=keyed_alignment,
                     alignment_kernel=alignment_kernel,
                     alignment_cache_path=alignment_cache_path, jobs=jobs,
-                    executor=executor, sanitize=sanitize)
+                    executor=executor, sanitize=sanitize,
+                    fault_plan=fault_plan, retry_policy=retry_policy)
             merge_report = fmsa.run(module)
             merge_count += merge_report.merge_count
             stage_times = merge_report.stage_times

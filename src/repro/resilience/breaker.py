@@ -1,0 +1,111 @@
+"""A minimal circuit breaker for the merge daemon.
+
+Classic three-state breaker: **closed** (all requests pass; consecutive
+engine failures are counted), **open** (requests are shed immediately -
+the daemon answers 503 with ``Retry-After`` instead of burning a worker
+slot on an engine that keeps failing), and **half-open** (after the reset
+window one probe request is admitted; success closes the breaker, failure
+re-opens it).  ``threshold=0`` disables the breaker entirely - `allow()`
+is then always true and nothing is counted.
+
+Time is injectable (``clock=``) so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker."""
+
+    def __init__(self, threshold: int = 3, reset_seconds: float = 5.0,
+                 clock: Optional[Callable[[], float]] = None):
+        self.threshold = int(threshold)
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+        self._shed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  In the open state this flips
+        to half-open once the reset window has elapsed, admitting exactly
+        one probe (concurrent callers during the probe are shed)."""
+        if not self.enabled:
+            return True
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_seconds:
+                    self._state = HALF_OPEN
+                    return True
+                self._shed += 1
+                return False
+            # half-open: one probe is already in flight
+            self._shed += 1
+            return False
+
+    def record_success(self) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # the probe failed - straight back to open
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+                return
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait before retrying (rounded up
+        to at least one whole second for the HTTP header)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            remaining = self.reset_seconds - (self._clock() - self._opened_at)
+            return max(1.0, remaining)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        """Stats-surface view (the daemon's ``/stats``)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "enabled": self.enabled,
+                "threshold": self.threshold,
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+                "shed": self._shed,
+            }

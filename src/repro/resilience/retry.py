@@ -1,0 +1,113 @@
+"""Retry/timeout/backoff policy for failure-prone work.
+
+One :class:`RetryPolicy` object describes how a layer responds to a
+transient failure: how many attempts it gets, how long a single offloaded
+task may run (``task_deadline`` - the knob that turns today's
+wait-forever-on-a-hung-worker into a detected timeout), how long to pause
+between attempts (exponential backoff with *deterministic* jitter - seeded
+by the attempt number so two runs of the same schedule sleep identically),
+and whether an exhausted offload budget falls back to solving the task
+in-process instead of failing the run.
+
+The default policy is deliberately conservative - one attempt, no
+in-process fallback, a generous 300 s deadline - so engines constructed
+without an explicit policy behave exactly as before this layer existed
+(a crashed worker still surfaces as ``TaskFailure``/``PlanningError``).
+A policy with more than one attempt or a fallback is *resilient*: only
+then does exhaustion raise the typed
+:class:`~repro.resilience.ResilienceError`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment knobs mirrored by :meth:`RetryPolicy.from_env`.
+RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
+TASK_DEADLINE_ENV = "REPRO_TASK_DEADLINE"
+RETRY_FALLBACK_ENV = "REPRO_RETRY_FALLBACK"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a layer retries, times out, and backs off.
+
+    ``max_attempts``
+        Total tries for one unit of offloaded work (1 = no retry).
+    ``task_deadline``
+        Seconds one offloaded chunk may take before the dispatching side
+        declares the worker hung and tears the pool down.  ``None``
+        restores the historical wait-forever behaviour.
+    ``backoff_base`` / ``backoff_factor`` / ``backoff_max``
+        Sleep before retry *n* (1-based) is
+        ``min(backoff_max, backoff_base * backoff_factor**(n-1))``
+        scaled by deterministic jitter in ``[0.5, 1.0)``.
+    ``fallback_inprocess``
+        After all attempts fail, solve the offloaded tasks in the
+        dispatching process (the bottom rung of the offload degradation
+        ladder) instead of raising.
+    """
+
+    max_attempts: int = 1
+    task_deadline: Optional[float] = 300.0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    fallback_inprocess: bool = False
+
+    @property
+    def resilient(self) -> bool:
+        """True when this policy recovers at all - and therefore when its
+        exhaustion is reported as a typed ``ResilienceError`` rather than
+        the legacy ``TaskFailure``."""
+        return self.max_attempts > 1 or self.fallback_inprocess
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based).
+        Deterministic: the jitter is seeded by the attempt number."""
+        if attempt < 1:
+            return 0.0
+        raw = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        raw = min(self.backoff_max, raw)
+        jitter = 0.5 + 0.5 * random.Random(attempt).random()
+        return raw * jitter
+
+    @classmethod
+    def from_env(cls, base: Optional["RetryPolicy"] = None) -> "RetryPolicy":
+        """A policy built from ``base`` (default: the class defaults) with
+        any of the ``REPRO_RETRY_*`` / ``REPRO_TASK_DEADLINE`` environment
+        overrides applied.  Unparseable values are ignored rather than
+        fatal - a bad env knob must not take the engine down."""
+        policy = base if base is not None else cls()
+        updates = {}
+        raw = os.environ.get(RETRY_ATTEMPTS_ENV)
+        if raw:
+            try:
+                updates["max_attempts"] = max(1, int(raw))
+            except ValueError:
+                pass
+        raw = os.environ.get(TASK_DEADLINE_ENV)
+        if raw:
+            try:
+                deadline = float(raw)
+                updates["task_deadline"] = deadline if deadline > 0 else None
+            except ValueError:
+                pass
+        raw = os.environ.get(RETRY_BACKOFF_ENV)
+        if raw:
+            try:
+                updates["backoff_base"] = max(0.0, float(raw))
+            except ValueError:
+                pass
+        raw = os.environ.get(RETRY_FALLBACK_ENV)
+        if raw:
+            updates["fallback_inprocess"] = raw.strip().lower() not in (
+                "", "0", "false", "no", "off")
+        if not updates:
+            return policy
+        merged = {**policy.__dict__, **updates}
+        return cls(**merged)

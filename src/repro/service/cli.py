@@ -62,6 +62,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-payload", type=int, default=4 << 20,
                         help="request body size limit in bytes")
     parser.add_argument("--target", default="x86-64")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="per-request socket timeout in seconds; a "
+                             "client that stalls past it loses the "
+                             "connection and is counted in /stats "
+                             "(0 disables)")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive internal failures that open the "
+                             "circuit breaker (503 + Retry-After while "
+                             "open; 0 disables)")
+    parser.add_argument("--breaker-reset", type=float, default=5.0,
+                        help="seconds the breaker stays open before a "
+                             "half-open probe is admitted")
+    parser.add_argument("--degrade-after", type=int, default=3,
+                        help="consecutive worker-pool failures before the "
+                             "executor steps down its ladder "
+                             "(process -> thread -> serial; 0 disables)")
     parser.add_argument("--sanitize", action="store_true", default=None,
                         help="run the static-analysis sanitizer (verifier "
                              "v2 + merge linter) on every request; "
@@ -79,6 +95,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         autosave_interval=args.autosave_interval,
         result_cache_size=args.result_cache,
         max_payload_bytes=args.max_payload, target=args.target,
+        request_timeout=args.request_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        degrade_after_failures=args.degrade_after,
         sanitize=args.sanitize)
     daemon = MergeDaemon(config)
 

@@ -64,6 +64,7 @@ from ..core.codegen import MergeOptions
 from ..core.engine import AlignmentCache, PlanningError, make_executor
 from ..core.pass_ import FunctionMergingPass
 from ..evaluation.pipeline import compile_module, open_compile_session
+from ..resilience import CLOSED, CircuitBreaker, degradation_event, fault_triggered
 from . import protocol
 from .protocol import ProtocolError
 
@@ -105,6 +106,21 @@ class DaemonConfig:
     #: deployments can alert on them.  ``None``: the ``REPRO_SANITIZE``
     #: environment variable.
     sanitize: Optional[bool] = None
+    #: Per-request socket timeout (seconds): a client that stalls sending
+    #: its body or reading its response is dropped - its handler thread is
+    #: reclaimed - and counted in the ``request_timeouts`` stat.  0: off.
+    request_timeout: float = 30.0
+    #: Circuit breaker: after this many *consecutive* internal failures the
+    #: daemon sheds work requests with ``unavailable`` (503 + Retry-After)
+    #: instead of burning worker slots, admitting one probe per
+    #: ``breaker_reset_seconds`` window until a probe succeeds.  0: off.
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+    #: Executor degradation ladder: after this many consecutive worker-pool
+    #: failures the warm context steps the executor down one tier
+    #: (process -> thread -> serial) instead of rebuilding the same broken
+    #: pool forever; a successful request resets the count.  0: off.
+    degrade_after_failures: int = 3
 
 
 class WarmContext:
@@ -145,6 +161,13 @@ class WarmContext:
         }
         self._requests_since_recycle = 0
         self._inflight = 0
+        #: Executor degradation ladder (process -> thread -> serial): the
+        #: tier future leases build, stepped down by repeated worker-pool
+        #: failures.  Decisions are executor-invariant, so a degraded
+        #: daemon answers identically - only slower.
+        self.executor_kind: str = config.executor
+        self.degradations: list = []
+        self._consecutive_failures = 0
 
     # -- executor leasing --------------------------------------------------
     def lease_executor(self):
@@ -154,7 +177,7 @@ class WarmContext:
         with self._lock:
             if self._executor is None or self._executor.closed:
                 start = time.perf_counter()
-                executor = make_executor(self.config.executor,
+                executor = make_executor(self.executor_kind,
                                          self._resolve_jobs())
                 # keep_alive is an attribute contract on PlanExecutor, so a
                 # post-construction set covers every executor kind alike
@@ -190,12 +213,44 @@ class WarmContext:
                 if self._executor is not None and not self._executor.closed:
                     self._executor.close()
 
+    #: Next-lower executor tier ("auto" resolves to the process pool, so
+    #: it degrades the same way).
+    _LADDER = {"auto": "thread", "process": "thread", "thread": "serial"}
+
     def note_worker_failure(self) -> None:
         """A run died on a broken pool: make sure the dead executor is
-        really closed so the next lease rebuilds it."""
+        really closed so the next lease rebuilds it, and - after
+        ``degrade_after_failures`` consecutive failures - step the ladder
+        down one tier rather than rebuild the same broken pool forever."""
         with self._lock:
             if self._executor is not None and not self._executor.closed:
                 self._executor.close()
+            self._consecutive_failures += 1
+            limit = self.config.degrade_after_failures
+            if limit <= 0 or self._consecutive_failures < limit:
+                return
+            lower = self._LADDER.get(self.executor_kind)
+            if lower is None:  # already at the bottom (serial)
+                return
+            self.degradations.append(degradation_event(
+                "service-executor", self.executor_kind, lower,
+                f"{self._consecutive_failures} consecutive worker failures"))
+            self.executor_kind = lower
+            self._consecutive_failures = 0
+
+    def note_run_success(self) -> None:
+        """A work request completed: the pool is healthy, reset the
+        consecutive-failure count (the ladder only reacts to streaks)."""
+        with self._lock:
+            self._consecutive_failures = 0
+
+    def current_executor_kind(self) -> str:
+        with self._lock:
+            return self.executor_kind
+
+    def degradation_snapshot(self) -> list:
+        with self._lock:
+            return list(self.degradations)
 
     # -- warm passes -------------------------------------------------------
     def warm_pass(self, signature: tuple) -> Tuple[bool, FunctionMergingPass]:
@@ -225,8 +280,10 @@ class WarmContext:
     def executor_stats(self) -> dict:
         with self._lock:
             executor = self._executor
+            kind = self.executor_kind
         stats = {"executor_live": bool(executor is not None
-                                       and not executor.closed)}
+                                       and not executor.closed),
+                 "executor_kind": kind}
         if executor is not None and hasattr(executor, "worker_pids") \
                 and not executor.closed:
             try:
@@ -269,6 +326,9 @@ class MergeDaemon:
         self.started = time.monotonic()
         self._admission = threading.BoundedSemaphore(
             max(1, self.config.queue_limit))
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_seconds)
         self._sessions: Dict[str, _SessionEntry] = {}
         self._sessions_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -281,6 +341,8 @@ class MergeDaemon:
             "sessions_closed": 0,
             "sessions_evicted": 0,
             "result_cache_hits": 0,
+            "request_timeouts": 0,
+            "breaker_rejections": 0,
         }
         self._result_cache: "OrderedDict[str, dict]" = OrderedDict()
         self._result_cache_lock = threading.Lock()
@@ -400,11 +462,24 @@ class MergeDaemon:
             self._stats["requests_total"] += 1
             self._stats[f"requests_{method}"] += 1
         if method == "health":
+            breaker_state = self.breaker.state
             return {"ok": True, "uptime_seconds":
-                    round(time.monotonic() - self.started, 3)}
+                    round(time.monotonic() - self.started, 3),
+                    "degraded": (breaker_state != CLOSED
+                                 or bool(self.context.degradation_snapshot())),
+                    "breaker": breaker_state,
+                    "executor_kind": self.context.current_executor_kind()}
         if method == "stats":
             return self.stats()
-        # work methods: bounded admission; reject instead of queueing
+        # work methods: circuit breaker first (shed while the engine keeps
+        # failing, with a Retry-After hint), then bounded admission
+        if not self.breaker.allow():
+            with self._stats_lock:
+                self._stats["breaker_rejections"] += 1
+            raise ProtocolError(
+                "unavailable",
+                "circuit breaker is open after repeated internal failures; "
+                "retry later", retry_after=self.breaker.retry_after())
         if not self._admission.acquire(blocking=False):
             with self._stats_lock:
                 self._stats["busy_rejections"] += 1
@@ -413,15 +488,30 @@ class MergeDaemon:
                 f"({self.config.queue_limit}); retry later")
         self.context.note_request_begin()
         try:
-            if method == "compile_module":
-                return self._handle_compile(payload)
-            if method == "open_session":
-                return self._handle_open_session(payload)
-            if method == "session_update":
-                return self._handle_session_update(payload)
-            if method == "close_session":
-                return self._handle_close_session(payload)
-            raise ProtocolError("unknown-method", f"unknown method {method!r}")
+            try:
+                if method == "compile_module":
+                    result = self._handle_compile(payload)
+                elif method == "open_session":
+                    result = self._handle_open_session(payload)
+                elif method == "session_update":
+                    result = self._handle_session_update(payload)
+                elif method == "close_session":
+                    result = self._handle_close_session(payload)
+                else:
+                    raise ProtocolError("unknown-method",
+                                        f"unknown method {method!r}")
+            except ProtocolError as error:
+                # only the daemon's own failures trip the breaker; client
+                # mistakes (bad-request, unknown-session, ...) never do
+                if error.code == "internal":
+                    self.breaker.record_failure()
+                raise
+            except Exception:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            self.context.note_run_success()
+            return result
         finally:
             self.context.note_request_done()
             self._admission.release()
@@ -656,6 +746,12 @@ class MergeDaemon:
         with self._stats_lock:
             self._stats["client_disconnects"] += 1
 
+    def note_request_timeout(self) -> None:
+        """A client stalled past ``request_timeout`` (or the wire died on a
+        timeout): the handler thread was reclaimed, count it."""
+        with self._stats_lock:
+            self._stats["request_timeouts"] += 1
+
     def note_error(self) -> None:
         with self._stats_lock:
             self._stats["errors"] += 1
@@ -679,6 +775,9 @@ class MergeDaemon:
             stats.update(self.context.sanitizer.stats())
         stats["uptime_seconds"] = round(time.monotonic() - self.started, 3)
         stats["queue_limit"] = self.config.queue_limit
+        stats["request_timeout_seconds"] = self.config.request_timeout
+        stats["breaker"] = self.breaker.snapshot()
+        stats["degradations"] = self.context.degradation_snapshot()
         with self._result_cache_lock:
             stats["result_cache_entries"] = len(self._result_cache)
         return stats
@@ -695,14 +794,35 @@ def _make_handler(daemon: MergeDaemon):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # request logging is the client's business, not stderr's
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def setup(self):
+            super().setup()
+            # a slow or malicious client (stalled body, unread response)
+            # must not pin a handler thread forever: every socket op is
+            # bounded by the per-request timeout
+            timeout = daemon.config.request_timeout
+            if timeout and timeout > 0:
+                self.connection.settimeout(timeout)
+
+        def _send_json(self, status: int, payload: dict,
+                       retry_after: Optional[float] = None) -> None:
             body = protocol.dump_response(payload)
             try:
+                if fault_triggered("service.socket_drop"):
+                    raise BrokenPipeError("injected mid-response disconnect")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                if retry_after is not None:
+                    self.send_header("Retry-After",
+                                     str(max(1, int(retry_after))))
                 self.end_headers()
                 self.wfile.write(body)
+            except TimeoutError:
+                # the client stopped reading its response; reclaim the
+                # thread and count the stall (TimeoutError is an OSError
+                # subclass, so this arm must come first)
+                daemon.note_request_timeout()
+                self.close_connection = True
             except (BrokenPipeError, ConnectionError, OSError):
                 # the client went away mid-response; the daemon's own state
                 # is already consistent - just account and carry on
@@ -718,7 +838,8 @@ def _make_handler(daemon: MergeDaemon):
             # (e.g. too-large rejects before reading); drop the connection
             # rather than let keep-alive misparse the leftovers
             self.close_connection = True
-            self._send_json(error.status, error.to_payload())
+            self._send_json(error.status, error.to_payload(),
+                            retry_after=error.retry_after)
 
         # -- verbs ---------------------------------------------------------
         def do_GET(self):
@@ -753,7 +874,16 @@ def _make_handler(daemon: MergeDaemon):
                 protocol.check_payload_size(
                     length, daemon.config.max_payload_bytes)
                 try:
+                    if fault_triggered("service.slow_client"):
+                        raise TimeoutError("injected header-then-stall client")
                     body = self.rfile.read(length)
+                except TimeoutError:
+                    # headers arrived but the body stalled past the
+                    # per-request timeout (TimeoutError before OSError:
+                    # it is a subclass)
+                    daemon.note_request_timeout()
+                    self.close_connection = True
+                    return
                 except (ConnectionError, OSError):
                     daemon.note_client_disconnect()
                     self.close_connection = True

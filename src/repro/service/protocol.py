@@ -36,7 +36,9 @@ named ``name`` from it (the source may define helpers; only ``name`` is
 used).  Errors come back as ``{"error": {"code": ..., "message": ...}}``
 with a matching HTTP status: ``bad-request`` 400, ``too-large`` 413,
 ``unknown-method`` 404, ``unknown-session`` 404, ``busy`` 429 (the
-backpressure rejection - retry later), ``internal`` 500.
+backpressure rejection - retry later), ``unavailable`` 503 (the circuit
+breaker is open after repeated internal failures; the response carries a
+``Retry-After`` header), ``internal`` 500.
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ ERROR_STATUS = {
     "unknown-method": 404,
     "unknown-session": 404,
     "busy": 429,
+    "unavailable": 503,
     "internal": 500,
 }
 
@@ -72,14 +75,20 @@ WORKLOAD_SUITES = ("mibench", "spec2006")
 
 
 class ProtocolError(Exception):
-    """A request the daemon rejects; ``code`` keys :data:`ERROR_STATUS`."""
+    """A request the daemon rejects; ``code`` keys :data:`ERROR_STATUS`.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after`` (seconds) is surfaced as an HTTP ``Retry-After``
+    header - the circuit breaker's shed responses carry it so clients
+    know when the daemon expects to admit a probe again."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after: Optional[float] = None):
         if code not in ERROR_STATUS:
             raise ValueError(f"unknown protocol error code {code!r}")
         super().__init__(message)
         self.code = code
         self.status = ERROR_STATUS[code]
+        self.retry_after = retry_after
 
     def to_payload(self) -> Dict[str, Dict[str, str]]:
         return {"error": {"code": self.code, "message": str(self)}}

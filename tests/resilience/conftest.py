@@ -1,0 +1,13 @@
+"""Fixtures for the resilience suite: never leak an installed fault plan
+into other tests (the plan registry is process-global by design)."""
+
+import pytest
+
+from repro.resilience import install_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    install_fault_plan(None)
+    yield
+    install_fault_plan(None)

@@ -1,0 +1,84 @@
+"""The graceful-degradation ladders: alignment kernels step down
+numpy -> pure (and abort typed from the bottom tier), the offload executor
+falls back in-process, and every transition surfaces as a structured event
+in ``scheduler_stats["degradations"]``."""
+
+import warnings
+
+import pytest
+
+from repro.core import numpy_available
+from repro.core.engine import MergeEngine
+from repro.core.pass_ import FunctionMergingPass
+from repro.resilience import FaultPlan, ResilienceError, RetryPolicy
+from tests.core.test_offload import SEED_CONFIG, build_module, decisions
+
+
+def reference_decisions(seed=5):
+    return decisions(FunctionMergingPass(
+        exploration_threshold=2, **SEED_CONFIG).run(build_module(seed)))
+
+
+class TestKernelLadder:
+    @pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+    def test_numpy_kernel_crash_degrades_to_pure_bit_identically(self):
+        plan = FaultPlan.parse("seed=4,align.kernel_crash:nth=1:count=1")
+        pass_ = FunctionMergingPass(
+            exploration_threshold=2, alignment_kernel="nw-numpy",
+            fault_plan=plan)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = pass_.run(build_module(5))
+        assert decisions(report) == reference_decisions()
+        # the downgrade is sticky: the stage now runs the pure kernel
+        from repro.core.align_np import PURE_PYTHON_FALLBACKS
+        pure = PURE_PYTHON_FALLBACKS["nw-numpy"]
+        assert pass_.engine.alignment.algorithm == pure
+        events = report.scheduler_stats["degradations"]
+        assert any(e["component"] == "align-kernel"
+                   and e["from"] == "nw-numpy" and e["to"] == pure
+                   for e in events)
+        assert report.stage_stats["align"]["kernel_degradations"] >= 1
+
+    def test_pure_tier_crash_aborts_typed(self):
+        # the bottom rung has nowhere to fall: the injected fault surfaces
+        # as the typed ResilienceError, not a silent wrong answer
+        plan = FaultPlan.parse("seed=4,align.kernel_crash:nth=1:count=1")
+        with pytest.raises(ResilienceError) as excinfo:
+            FunctionMergingPass(
+                exploration_threshold=2, alignment_kernel="nw",
+                fault_plan=plan).run(build_module(5))
+        assert excinfo.value.site == "align.kernel_crash"
+
+    def test_no_faults_means_no_degradations(self):
+        report = FunctionMergingPass(
+            exploration_threshold=2).run(build_module(5))
+        assert report.scheduler_stats["degradations"] == []
+
+
+class TestDegradationAccounting:
+    def test_collect_degradations_is_cumulative_across_runs(self):
+        # engine-lifetime semantics (like the resident-cache counters):
+        # a second run still reports the first run's events
+        plan = FaultPlan.parse("seed=1,offload.worker_crash:nth=1:count=1")
+        policy = RetryPolicy(max_attempts=1, task_deadline=60.0,
+                             backoff_base=0.01, fallback_inprocess=True)
+        engine = MergeEngine(exploration_threshold=2, executor="process",
+                             jobs=2, fault_plan=plan, retry_policy=policy)
+        first = engine.run(build_module(5))
+        events_first = first.scheduler_stats["degradations"]
+        assert any(e["component"] == "offload" for e in events_first)
+        second = engine.run(build_module(5))
+        events_second = second.scheduler_stats["degradations"]
+        assert len(events_second) >= len(events_first)
+        assert decisions(first) == decisions(second) == reference_decisions()
+
+    def test_events_carry_the_structured_shape(self):
+        plan = FaultPlan.parse("seed=1,offload.worker_crash")
+        policy = RetryPolicy(max_attempts=1, backoff_base=0.01,
+                             task_deadline=60.0, fallback_inprocess=True)
+        report = FunctionMergingPass(
+            exploration_threshold=2, executor="process", jobs=2,
+            fault_plan=plan, retry_policy=policy).run(build_module(5))
+        for event in report.scheduler_stats["degradations"]:
+            assert set(event) == {"component", "from", "to", "reason"}
